@@ -1,0 +1,80 @@
+"""Shared benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper.  Runs are
+memoised per (config, workload, seed) for the whole pytest session so the
+baseline simulations are shared between benchmarks.
+
+Scale control via ``REPRO_SCALE``:
+
+* ``quick`` (default) - representative workload subset (one or two per
+  suite plus a mix) on the scaled-down 8-core system; the full harness
+  completes in minutes.
+* ``full``  - all 29 workloads (still the scaled-down system).
+
+Each benchmark prints its table and also writes it to ``results/<name>.txt``
+so EXPERIMENTS.md can reference the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.config.presets import small_8core, small_16core
+from repro.config.system import SystemConfig
+from repro.sim.results import RunResult
+from repro.sim.runner import run_workload
+from repro.workloads.suites import ALL_WORKLOADS, QUICK_WORKLOADS
+
+SCALE = os.environ.get("REPRO_SCALE", "quick").lower()
+
+#: Directory where benchmark tables are written.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Default seed used by every experiment.
+SEED = 7
+
+_results: Dict[Tuple[SystemConfig, str, int], RunResult] = {}
+
+
+def bench_workloads() -> List[str]:
+    """Workload list for figure-style benchmarks."""
+    return list(ALL_WORKLOADS) if SCALE == "full" else list(QUICK_WORKLOADS)
+
+
+def sweep_workloads() -> List[str]:
+    """Smaller list for multi-dimensional sweeps (Figs. 15/17, Tables
+    VI/VII)."""
+    if SCALE == "full":
+        return ["lbm", "bwaves", "cf", "bc", "copy", "whiskey", "mix0"]
+    return ["lbm", "copy", "cf", "whiskey"]
+
+
+def config_8core() -> SystemConfig:
+    return small_8core()
+
+
+def config_16core() -> SystemConfig:
+    return small_16core()
+
+
+def sim(config: SystemConfig, workload: str, seed: int = SEED) -> RunResult:
+    """Memoised simulation run."""
+    key = (config, workload, seed)
+    if key not in _results:
+        _results[key] = run_workload(config, workload, seed=seed)
+    return _results[key]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,132 @@
+"""Ablations of the design decisions called out in DESIGN.md section 4.
+
+Not a paper table - these quantify how much each modelling/design choice
+contributes:
+
+* **drain scheduling**: the baseline MC drains the *lowest-latency* write
+  first; the 'fcfs' ablation drains oldest-first.
+* **PBPL**: permutation-based page interleaving spreads set-conflicting
+  lines across banks; disabling it should hurt the baseline.
+* **tracker self-reset**: without the self-reset the BLP-Tracker
+  saturates and BARD degenerates to the baseline.
+"""
+
+from repro.analysis import format_table, gmean
+from repro.core.blp_tracker import BLPTracker
+from repro.sim.system import System
+from repro.workloads import trace_factory
+
+from _harness import config_8core, emit, once, sim, sweep_workloads
+
+
+def _gmean_vs(cfg, reference_cfg, workloads):
+    ratios = [
+        sim(cfg, wl).weighted_speedup(sim(reference_cfg, wl))
+        for wl in workloads
+    ]
+    return 100.0 * (gmean(ratios) - 1)
+
+
+def test_ablation_drain_scheduling(benchmark):
+    def run():
+        workloads = sweep_workloads()
+        base = config_8core()
+        fcfs = base.with_drain_policy("fcfs")
+        return [
+            ("fcfs drain (baseline LLC)", _gmean_vs(fcfs, base, workloads)),
+            ("fcfs drain + BARD",
+             _gmean_vs(fcfs.with_writeback("bard-h"), base, workloads)),
+            ("min-latency + BARD",
+             _gmean_vs(base.with_writeback("bard-h"), base, workloads)),
+        ]
+
+    rows = once(benchmark, run)
+    table = format_table(
+        ["configuration", "gmean speedup vs baseline %"], rows,
+        title="Ablation - write-drain scheduling policy",
+    )
+    emit("ablation_drain_policy", table)
+    by_name = dict(rows)
+    assert by_name["fcfs drain (baseline LLC)"] <= 0.5, (
+        "oldest-first drain should not beat min-latency drain")
+
+
+def test_ablation_pbpl(benchmark):
+    def run():
+        workloads = sweep_workloads()
+        base = config_8core()
+        no_pbpl = base.without_pbpl()
+        return [
+            ("no PBPL (baseline LLC)", _gmean_vs(no_pbpl, base, workloads)),
+            ("no PBPL + BARD",
+             _gmean_vs(no_pbpl.with_writeback("bard-h"), base, workloads)),
+        ]
+
+    rows = once(benchmark, run)
+    table = format_table(
+        ["configuration", "gmean speedup vs baseline %"], rows,
+        title="Ablation - permutation-based page interleaving (PBPL)",
+    )
+    emit("ablation_pbpl", table)
+    by_name = dict(rows)
+    assert by_name["no PBPL + BARD"] > by_name["no PBPL (baseline LLC)"], (
+        "BARD should still help without PBPL")
+
+
+def test_ablation_tracker_self_reset(benchmark):
+    """Without self-reset the tracker saturates: BARD stops finding
+    low-cost banks and its BLP advantage collapses."""
+
+    def run():
+        cfg = config_8core().with_writeback("bard-h")
+        rows = []
+        for wl in sweep_workloads()[:2]:
+            normal = sim(cfg, wl)
+            system = System(cfg, trace_factory(wl, cfg))
+            system.tracker.self_reset = False
+            system.llc_policy.tracker = system.tracker
+            frozen = system.run(label="no-self-reset")
+            rows.append((wl, normal.write_blp, frozen.write_blp,
+                         frozen.wb_stats.overrides +
+                         frozen.wb_stats.cleanses))
+        return rows
+
+    rows = once(benchmark, run)
+    table = format_table(
+        ["workload", "BLP (self-reset)", "BLP (frozen)",
+         "frozen decisions"],
+        rows,
+        title="Ablation - BLP-Tracker self-reset (paper Fig. 7b)",
+    )
+    emit("ablation_self_reset", table)
+    for wl, with_reset, without_reset, _ in rows:
+        assert without_reset <= with_reset + 1.0, (
+            f"{wl}: frozen tracker should not beat the self-resetting one")
+
+
+def test_ablation_refresh(benchmark):
+    """Refresh (not modelled by the paper) costs a few percent and does
+    not change BARD's relative benefit."""
+
+    def run():
+        workloads = sweep_workloads()[:2]
+        base = config_8core()
+        refresh = base.with_refresh()
+        return [
+            ("refresh on (baseline LLC)",
+             _gmean_vs(refresh, base, workloads)),
+            ("refresh on + BARD",
+             _gmean_vs(refresh.with_writeback("bard-h"), base, workloads)),
+        ]
+
+    rows = once(benchmark, run)
+    table = format_table(
+        ["configuration", "gmean speedup vs baseline %"], rows,
+        title="Ablation - all-bank refresh model",
+    )
+    emit("ablation_refresh", table)
+    by_name = dict(rows)
+    assert by_name["refresh on (baseline LLC)"] <= 0.5, (
+        "refresh cannot speed up the baseline")
+    assert by_name["refresh on + BARD"] > by_name[
+        "refresh on (baseline LLC)"], "BARD should still help with refresh"

@@ -1,0 +1,33 @@
+"""Figure 2: % of execution time spent issuing DRAM writes, baseline vs
+an idealised system where every write takes 3.3 ns.
+
+Paper result: baseline mean 33.0%, ideal mean 24.1%.
+"""
+
+from repro.analysis import amean, format_table
+
+from _harness import bench_workloads, config_8core, emit, once, sim
+
+
+def test_fig02_time_spent_writing(benchmark):
+    def run():
+        base_cfg = config_8core()
+        ideal_cfg = base_cfg.with_ideal_writes()
+        rows = []
+        for wl in bench_workloads():
+            base = sim(base_cfg, wl)
+            ideal = sim(ideal_cfg, wl)
+            rows.append((wl, base.time_writing_pct, ideal.time_writing_pct))
+        return rows
+
+    rows = once(benchmark, run)
+    mean_base = amean([r[1] for r in rows])
+    mean_ideal = amean([r[2] for r in rows])
+    table = format_table(
+        ["workload", "baseline W%", "ideal W%"],
+        rows + [("mean", mean_base, mean_ideal)],
+        title=("Fig. 2 - time spent writing to DRAM "
+               "(paper: baseline 33.0%, ideal 24.1%)"),
+    )
+    emit("fig02_time_writing", table)
+    assert mean_ideal < mean_base, "ideal writes must reduce write time"

@@ -1,0 +1,27 @@
+"""Figure 3: write bank-level parallelism of the baseline.
+
+Paper result: workloads write to 22.1 of the 32 sub-channel banks per
+write-drain episode on average (ideal is 32).
+"""
+
+from repro.analysis import amean, format_table
+
+from _harness import bench_workloads, config_8core, emit, once, sim
+
+
+def test_fig03_baseline_write_blp(benchmark):
+    def run():
+        cfg = config_8core()
+        return [(wl, sim(cfg, wl).write_blp) for wl in bench_workloads()]
+
+    rows = once(benchmark, run)
+    mean_blp = amean([r[1] for r in rows])
+    table = format_table(
+        ["workload", "write BLP (of 32)"],
+        rows + [("mean", mean_blp)],
+        title="Fig. 3 - baseline write bank-level parallelism (paper: 22.1)",
+    )
+    emit("fig03_write_blp", table)
+    for wl, blp in rows:
+        assert 1 <= blp <= 32, f"{wl}: BLP out of range"
+    assert mean_blp < 32, "baseline must not already be ideal"

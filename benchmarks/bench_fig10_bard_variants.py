@@ -1,0 +1,69 @@
+"""Figure 10: speedups of BARD-E / BARD-C / BARD-H over the baseline (top)
+and the breakdown of BARD-H decisions (bottom).
+
+Paper result (top): gmean speedups 4.1% (E), 3.3% (C), 4.3% (H); BARD-H
+tracks the better of E and C per workload.
+Paper result (bottom): 64.7% plain LRU evictions, 4.8% BARD-E overrides,
+30.5% BARD-C cleanses.
+"""
+
+from repro.analysis import amean, format_table, gmean
+
+from _harness import bench_workloads, config_8core, emit, once, sim
+
+
+def test_fig10_top_speedups(benchmark):
+    def run():
+        cfg = config_8core()
+        rows = []
+        for wl in bench_workloads():
+            base = sim(cfg, wl)
+            row = [wl]
+            for policy in ("bard-e", "bard-c", "bard-h"):
+                res = sim(cfg.with_writeback(policy), wl)
+                row.append(res.speedup_pct(base))
+            rows.append(tuple(row))
+        return rows
+
+    rows = once(benchmark, run)
+    gmeans = []
+    for idx in (1, 2, 3):
+        gmeans.append(100.0 * (gmean(
+            [1 + r[idx] / 100 for r in rows]) - 1))
+    table = format_table(
+        ["workload", "BARD-E %", "BARD-C %", "BARD-H %"],
+        rows + [("gmean", *gmeans)],
+        title=("Fig. 10 (top) - BARD variant speedups "
+               "(paper gmean: E 4.1%, C 3.3%, H 4.3%)"),
+    )
+    emit("fig10_top_speedups", table)
+    assert gmeans[2] > 0, "BARD-H must provide a net speedup"
+
+
+def test_fig10_bottom_decision_breakdown(benchmark):
+    def run():
+        cfg = config_8core().with_writeback("bard-h")
+        rows = []
+        for wl in bench_workloads():
+            s = sim(cfg, wl).wb_stats
+            total = max(1, s.victim_selections)
+            rows.append((
+                wl,
+                100.0 * (total - s.overrides - s.cleanses) / total,
+                100.0 * s.overrides / total,
+                100.0 * s.cleanses / total,
+            ))
+        return rows
+
+    rows = once(benchmark, run)
+    means = [amean([r[i] for r in rows]) for i in (1, 2, 3)]
+    table = format_table(
+        ["workload", "plain evict %", "BARD-E override %",
+         "BARD-C cleanse %"],
+        rows + [("mean", *means)],
+        title=("Fig. 10 (bottom) - BARD-H decision breakdown "
+               "(paper mean: 64.7 / 4.8 / 30.5)"),
+    )
+    emit("fig10_bottom_decisions", table)
+    assert means[2] > means[1], (
+        "cleansing should dominate overrides (paper section V-C)")

@@ -1,0 +1,50 @@
+"""Table IV: workload characteristics - MPKI, WPKI, write BLP, and % time
+writing for the baseline system, measured vs paper.
+
+Absolute values differ (synthetic workloads, scaled system); the check is
+that every workload is write-intensive and the BLP/W% columns land in the
+paper's qualitative bands.
+"""
+
+from repro.analysis import format_table
+from repro.workloads.suites import WORKLOADS
+
+from _harness import bench_workloads, config_8core, emit, once, sim
+
+
+def _paper_ref(wl):
+    if wl in WORKLOADS:
+        p = WORKLOADS[wl].paper
+        return p.mpki, p.wpki, p.wblp, p.write_pct
+    return None
+
+
+def test_table04_workload_characteristics(benchmark):
+    def run():
+        cfg = config_8core()
+        rows = []
+        for wl in bench_workloads():
+            r = sim(cfg, wl)
+            ref = _paper_ref(wl)
+            rows.append((
+                wl,
+                r.mpki, (ref[0] if ref else float("nan")),
+                r.wpki, (ref[1] if ref else float("nan")),
+                r.write_blp, (ref[2] if ref else float("nan")),
+                r.time_writing_pct, (ref[3] if ref else float("nan")),
+            ))
+        return rows
+
+    rows = once(benchmark, run)
+    table = format_table(
+        ["workload", "MPKI", "(paper)", "WPKI", "(paper)",
+         "WBLP", "(paper)", "W%", "(paper)"],
+        rows,
+        title="Table IV - workload characteristics (measured vs paper)",
+    )
+    emit("table04_characteristics", table)
+    for row in rows:
+        wl, mpki, _, wpki, _, wblp, _, wpct, _ = row
+        assert wpki > 1.0, f"{wl}: not write-intensive"
+        assert 1 <= wblp <= 32
+        assert 0 < wpct < 100

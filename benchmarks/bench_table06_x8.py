@@ -1,0 +1,51 @@
+"""Table VI: relative performance with x4 vs x8 DDR5 devices.
+
+x8 devices avoid the on-die-ECC read-modify-write, halving tCCD_L_WR.
+Paper result (normalised to the x4 baseline): baseline 0.0% / 2.1%;
+BARD 4.3% / 7.1%; ideal 14.5% / 14.5%.
+"""
+
+from repro.analysis import format_table, gmean
+
+from _harness import config_8core, emit, once, sim, sweep_workloads
+
+
+def _gmean_vs(cfg, reference_cfg, workloads):
+    ratios = [
+        sim(cfg, wl).weighted_speedup(sim(reference_cfg, wl))
+        for wl in workloads
+    ]
+    return 100.0 * (gmean(ratios) - 1)
+
+
+def test_table06_x4_vs_x8(benchmark):
+    def run():
+        workloads = sweep_workloads()
+        x4 = config_8core()
+        rows = []
+        for name, make in (
+            ("Baseline", lambda c: c),
+            ("BARD", lambda c: c.with_writeback("bard-h")),
+            ("Ideal", lambda c: c.with_ideal_writes()),
+        ):
+            rows.append((
+                name,
+                _gmean_vs(make(x4), x4, workloads),
+                _gmean_vs(make(x4.with_device("x8")), x4, workloads),
+            ))
+        return rows
+
+    rows = once(benchmark, run)
+    table = format_table(
+        ["system", "x4 device %", "x8 device %"],
+        rows,
+        title=("Table VI - x4 vs x8 devices, relative to x4 baseline "
+               "(paper: base 0.0/2.1, BARD 4.3/7.1, ideal 14.5/14.5)"),
+    )
+    emit("table06_x8", table)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["Baseline"][1] == 0.0
+    assert by_name["Baseline"][2] > 0, "x8 must help the baseline"
+    assert by_name["BARD"][2] > by_name["BARD"][1] - 0.3, (
+        "BARD gains should compound with x8 devices")
+    assert by_name["Ideal"][1] >= by_name["BARD"][1] - 0.3

@@ -1,0 +1,11 @@
+"""Pytest hook point for the benchmark directory.
+
+The shared harness lives in ``_harness.py`` (imported by each benchmark);
+this file only ensures the directory is importable when pytest is invoked
+from the repository root.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

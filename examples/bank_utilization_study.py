@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Bank-utilization study: where do the writes actually land?
+
+Renders an ASCII heat strip of per-bank write counts for one sub-channel,
+baseline vs BARD-H, plus the imbalance (Gini) summary - a finer-grained
+view of the BLP improvement in paper Fig. 14 (top).
+"""
+
+from repro import small_8core
+from repro.analysis.banks import write_distribution
+from repro.sim.system import System
+from repro.workloads import trace_factory
+
+_SHADES = " .:-=+*#%@"
+
+
+def heat_strip(counts):
+    peak = max(counts) or 1
+    return "".join(
+        _SHADES[min(len(_SHADES) - 1, int(c / peak * (len(_SHADES) - 1)))]
+        for c in counts
+    )
+
+
+def run(policy):
+    config = small_8core().with_writeback(policy)
+    system = System(config, trace_factory("lbm", config))
+    result = system.run(label=policy or "baseline")
+    return result, write_distribution(system)
+
+
+def main() -> None:
+    print("per-bank write heat (sub-channel 0, banks 0..31), lbm\n")
+    for policy in (None, "bard-h"):
+        result, dists = run(policy)
+        d = dists[0]
+        name = policy or "baseline"
+        print(f"{name:<9} |{heat_strip(d.counts)}|")
+        print(f"{'':<9}  banks used {d.banks_used}/32, "
+              f"max share {100 * d.max_share:.1f}%, "
+              f"imbalance (Gini) {d.imbalance:.3f}, "
+              f"episode BLP {result.write_blp:.1f}\n")
+    print("BARD flattens the strip: more banks absorb writes per drain, "
+          "so\nconsecutive writes avoid the 6x/24x same-bankgroup and "
+          "same-bank delays.")
+
+
+if __name__ == "__main__":
+    main()

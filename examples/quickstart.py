@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: measure BARD's effect on one write-intensive workload.
+
+Runs the paper's ``lbm`` workload (the most write-intensive SPEC2017
+member) on the scaled-down 8-core DDR5 system, once with the baseline LRU
+LLC and once with BARD-H, and prints the metrics the paper is built
+around: write bank-level parallelism, time spent writing, write-to-write
+delay, and weighted speedup.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro import compare_policies, small_8core
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "lbm"
+    config = small_8core()
+    print(f"simulating {workload!r} on {config.cores} cores "
+          f"(baseline vs BARD-H)...")
+
+    comp = compare_policies(config, workload, [None, "bard-h"])
+    base = comp.results["baseline"]
+    bard = comp.results["bard-h"]
+
+    print(f"\n{'metric':<28} {'baseline':>10} {'BARD-H':>10}")
+    print("-" * 50)
+    rows = [
+        ("write BLP (banks / 32)", base.write_blp, bard.write_blp),
+        ("time writing (%)", base.time_writing_pct, bard.time_writing_pct),
+        ("mean w2w delay (ns)", base.mean_w2w_ns, bard.mean_w2w_ns),
+        ("LLC MPKI", base.mpki, bard.mpki),
+        ("LLC WPKI", base.wpki, bard.wpki),
+        ("mean IPC", base.mean_ipc, bard.mean_ipc),
+    ]
+    for name, b, r in rows:
+        print(f"{name:<28} {b:>10.2f} {r:>10.2f}")
+
+    print("-" * 50)
+    print(f"{'weighted speedup':<28} {comp.speedup_pct('bard-h'):>+9.2f}%")
+    decisions = bard.wb_stats
+    total = max(1, decisions.victim_selections)
+    print(f"\nBARD-H decisions: {decisions.victim_selections} victim "
+          f"selections, {100 * decisions.overrides / total:.1f}% "
+          f"overridden (BARD-E), {100 * decisions.cleanses / total:.1f}% "
+          f"cleansed (BARD-C)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""BARD reproduction: bank-aware replacement decisions for DDR5 writes.
+
+Reproduction of Vittal & Qureshi, "BARD: Reducing Write Latency of DDR5
+Memory by Exploiting Bank-Parallelism" (HPCA 2026), including the full
+simulation substrate: a trace-driven multi-core model, a three-level cache
+hierarchy with pluggable replacement/writeback policies, and a cycle-level
+DDR5 memory system.
+
+Quickstart::
+
+    from repro import compare_policies, small_8core
+
+    comp = compare_policies(small_8core(), "lbm",
+                            [None, "bard-h"])
+    print(comp.speedup_pct("bard-h"))
+"""
+
+from repro.config import (
+    CacheConfig,
+    DramConfig,
+    SystemConfig,
+    default_config,
+    paper_8core,
+    paper_16core,
+    small_8core,
+    small_16core,
+)
+from repro.core import BLPTracker, BardPolicy, make_bard
+from repro.sim import (
+    PolicyComparison,
+    RunResult,
+    System,
+    compare_policies,
+    gmean_speedups,
+    run_workload,
+)
+from repro.workloads import (
+    ALL_WORKLOADS,
+    MIXES,
+    QUICK_WORKLOADS,
+    WORKLOADS,
+    trace_factory,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BLPTracker",
+    "BardPolicy",
+    "CacheConfig",
+    "DramConfig",
+    "MIXES",
+    "PolicyComparison",
+    "QUICK_WORKLOADS",
+    "RunResult",
+    "System",
+    "SystemConfig",
+    "WORKLOADS",
+    "__version__",
+    "compare_policies",
+    "default_config",
+    "gmean_speedups",
+    "make_bard",
+    "paper_8core",
+    "paper_16core",
+    "run_workload",
+    "small_8core",
+    "small_16core",
+    "trace_factory",
+    "workload_names",
+]

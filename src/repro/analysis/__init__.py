@@ -1,0 +1,46 @@
+"""Analysis helpers: metrics, bandwidth model, reports, tables."""
+
+from repro.analysis.bandwidth import (
+    SERVER_SCALE,
+    SYNC_BITS,
+    WRITEBACK_BYTES,
+    BandwidthReport,
+    bandwidth_report,
+)
+from repro.analysis.banks import (
+    BankDistribution,
+    distribution,
+    read_distribution,
+    write_distribution,
+)
+from repro.analysis.figures import (
+    read_figure_csv,
+    series_to_csv,
+    write_figure_csv,
+)
+from repro.analysis.metrics import amean, gmean, normalize, pct_change
+from repro.analysis.report import characterization_report, comparison_report
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "BandwidthReport",
+    "BankDistribution",
+    "distribution",
+    "read_distribution",
+    "write_distribution",
+    "SERVER_SCALE",
+    "SYNC_BITS",
+    "WRITEBACK_BYTES",
+    "amean",
+    "bandwidth_report",
+    "characterization_report",
+    "comparison_report",
+    "format_series",
+    "format_table",
+    "gmean",
+    "normalize",
+    "pct_change",
+    "read_figure_csv",
+    "series_to_csv",
+    "write_figure_csv",
+]

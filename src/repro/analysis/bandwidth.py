@@ -1,0 +1,53 @@
+"""BLP-Tracker synchronization-bandwidth model (paper section VII-H).
+
+The paper analyses a 128-core, 8-channel server with 16x the write traffic
+of the evaluated 8-core system.  Every writeback costs 70 bytes on the NoC
+(6 B physical address + 64 B data) in *any* design; BARD additionally
+broadcasts a 9-bit bank address (512 banks across 8 channels) per writeback
+so every LLC slice's BLP-Tracker stays synchronized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import RunResult
+
+#: Paper's scaling from the evaluated 8-core system to 128 cores.
+SERVER_SCALE = 16
+
+#: Writeback packet: 6-byte address + 64-byte line.
+WRITEBACK_BYTES = 70
+
+#: BARD broadcast: bank address for 512 banks = 9 bits.
+SYNC_BITS = 9
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Bandwidth accounting for one run, scaled to the server analysis."""
+
+    writeback_gbps: float
+    sync_gbps: float
+
+    @property
+    def overhead_pct(self) -> float:
+        """Sync bandwidth as a percentage of writeback bandwidth.
+
+        Architecturally fixed at 9 bits / 560 bits ~ 1.6% (paper VII-H).
+        """
+        if self.writeback_gbps <= 0:
+            return 0.0
+        return 100.0 * self.sync_gbps / self.writeback_gbps
+
+
+def bandwidth_report(result: RunResult,
+                     scale: int = SERVER_SCALE) -> BandwidthReport:
+    """Compute Table VIII's bandwidth rows from a run result."""
+    if result.runtime_ns <= 0:
+        return BandwidthReport(0.0, 0.0)
+    writebacks = result.llc.writebacks * scale
+    # bytes per nanosecond == GB/s.
+    wb_gbps = writebacks * WRITEBACK_BYTES / result.runtime_ns
+    sync_gbps = writebacks * (SYNC_BITS / 8) / result.runtime_ns
+    return BandwidthReport(writeback_gbps=wb_gbps, sync_gbps=sync_gbps)

@@ -1,0 +1,68 @@
+"""CSV export of figure data.
+
+The paper's artifact plots its figures from aggregated CSV files
+(``collect_stats.py`` + a notebook).  This module provides the equivalent:
+each figure's series can be exported as CSV for any plotting tool, without
+adding a matplotlib dependency to the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+
+def series_to_csv(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    index_name: str = "workload",
+) -> str:
+    """Render one figure's data as CSV text.
+
+    ``labels`` is the x-axis (workload names, queue sizes, ...);
+    ``series`` maps a series name (e.g. "baseline", "bard-h") to one value
+    per label.
+    """
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([index_name, *series.keys()])
+    for i, label in enumerate(labels):
+        writer.writerow([label, *(f"{series[s][i]:.4f}" for s in series)])
+    return buf.getvalue()
+
+
+def write_figure_csv(
+    path: Union[str, Path],
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    index_name: str = "workload",
+) -> Path:
+    """Write one figure's data to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(series_to_csv(labels, series, index_name=index_name))
+    return path
+
+
+def read_figure_csv(path: Union[str, Path]) -> Dict[str, list]:
+    """Read a figure CSV back into ``{column_name: values}``."""
+    path = Path(path)
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        columns: Dict[str, list] = {name: [] for name in header}
+        for row in reader:
+            for name, cell in zip(header, row):
+                try:
+                    columns[name].append(float(cell))
+                except ValueError:
+                    columns[name].append(cell)
+    return columns

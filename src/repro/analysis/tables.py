@@ -1,0 +1,43 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The benchmarks print the same rows and series the paper reports; these
+helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule (floats shown to 2 decimals)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, labels: Sequence[str],
+                  values: Sequence[float]) -> str:
+    """One figure series as ``name: label=value ...``."""
+    pairs = " ".join(f"{l}={v:.2f}" for l, v in zip(labels, values))
+    return f"{name}: {pairs}"

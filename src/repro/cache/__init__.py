@@ -1,0 +1,35 @@
+"""Cache hierarchy: lines, MSHRs, set-associative caches, and policies."""
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.line import CacheLine, CacheSet
+from repro.cache.mshr import MSHREntry
+from repro.cache.replacement import (
+    LRUPolicy,
+    ReplacementPolicy,
+    SHiPPolicy,
+    SRRIPPolicy,
+    make_replacement,
+)
+from repro.cache.writeback import (
+    EagerWriteback,
+    VirtualWriteQueue,
+    WritebackPolicy,
+    make_writeback_policy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "CacheSet",
+    "CacheStats",
+    "EagerWriteback",
+    "LRUPolicy",
+    "MSHREntry",
+    "ReplacementPolicy",
+    "SHiPPolicy",
+    "SRRIPPolicy",
+    "VirtualWriteQueue",
+    "WritebackPolicy",
+    "make_replacement",
+    "make_writeback_policy",
+]

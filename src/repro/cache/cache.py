@@ -1,0 +1,369 @@
+"""Set-associative write-back cache with MSHRs and policy hooks.
+
+This is the building block for the paper's three-level hierarchy
+(Table II).  It supports:
+
+* write-allocate stores (a store miss fetches the line, then dirties it),
+* writeback-allocate from the level above (a dirty victim arriving from the
+  upper level installs directly as dirty, no fetch - the line's data is
+  complete),
+* a pluggable :class:`~repro.cache.replacement.base.ReplacementPolicy`,
+* a pluggable :class:`~repro.cache.writeback.base.WritebackPolicy` - this is
+  the hook BARD, Eager Writeback and Virtual Write Queue plug into, and
+* an optional prefetcher driven on demand accesses.
+
+Timing: hit latency is charged per level; misses descend to the lower level
+after the tag-lookup latency and complete when the lower level responds.
+All externally visible times are engine ticks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Protocol, Tuple
+
+from repro.cache.line import CacheLine, CacheSet
+from repro.cache.mshr import DoneCallback, MSHREntry
+from repro.cache.replacement import ReplacementPolicy, pc_signature
+from repro.clock import TICKS_PER_CPU_CYCLE
+from repro.dram.commands import LINE_BITS, LINE_SIZE
+from repro.errors import ConfigError
+
+
+class LowerLevel(Protocol):
+    """What a cache needs from the level below it."""
+
+    def read(self, line_addr: int, now: int, on_done: DoneCallback,
+             core_id: int, is_prefetch: bool, pc: int = 0) -> None: ...
+
+    def writeback(self, line_addr: int, now: int) -> None: ...
+
+
+@dataclass
+class CacheStats:
+    """Per-cache counters (demand and prefetch traffic separated)."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    prefetch_accesses: int = 0
+    prefetch_misses: int = 0
+    mshr_merges: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    writebacks: int = 0
+    cleanses: int = 0
+    writeback_installs: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.accesses - self.prefetch_accesses
+
+    @property
+    def demand_misses(self) -> int:
+        return self.misses - self.prefetch_misses
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.demand_accesses:
+            return 0.0
+        return self.demand_misses / self.demand_accesses
+
+
+class Cache:
+    """One level of the cache hierarchy."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        hit_latency: int,
+        mshr_count: int,
+        replacement: ReplacementPolicy,
+        engine,
+        lower: LowerLevel,
+        writeback_policy=None,
+        prefetcher=None,
+    ) -> None:
+        if size_bytes % (ways * LINE_SIZE):
+            raise ConfigError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"ways*line ({ways}*{LINE_SIZE})"
+            )
+        self.name = name
+        self.num_sets = size_bytes // (ways * LINE_SIZE)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(f"{name}: set count must be a power of two")
+        self.ways = ways
+        self.hit_latency_ticks = hit_latency * TICKS_PER_CPU_CYCLE
+        self.mshr_count = mshr_count
+        self.repl = replacement
+        self.engine = engine
+        self.lower = lower
+        self.wb_policy = writeback_policy
+        self.prefetcher = prefetcher
+        self.stats = CacheStats()
+
+        self.sets = [CacheSet(ways) for _ in range(self.num_sets)]
+        self.mshr: Dict[int, MSHREntry] = {}
+        self._outstanding = 0
+        self._issue_queue: Deque[int] = deque()
+
+        if self.wb_policy is not None:
+            self.wb_policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr & ~(LINE_SIZE - 1)
+
+    def set_index(self, line_addr: int) -> int:
+        return (line_addr >> LINE_BITS) & (self.num_sets - 1)
+
+    def find_line(self, line_addr: int) -> Optional[Tuple[int, int]]:
+        """(set_idx, way) for a resident line, else None."""
+        set_idx = self.set_index(line_addr)
+        way = self.sets[set_idx].find(line_addr)
+        if way is None:
+            return None
+        return set_idx, way
+
+    # ------------------------------------------------------------------
+    # Demand / prefetch access path
+    # ------------------------------------------------------------------
+
+    def access(
+        self,
+        addr: int,
+        is_write: bool,
+        pc: int,
+        now: int,
+        on_done: Optional[DoneCallback],
+        core_id: int = 0,
+        is_prefetch: bool = False,
+    ) -> None:
+        """Access one line; ``on_done(tick)`` fires when data is available."""
+        la = self.line_addr(addr)
+        set_idx = self.set_index(la)
+        cset = self.sets[set_idx]
+        self.stats.accesses += 1
+        if is_prefetch:
+            self.stats.prefetch_accesses += 1
+
+        way = cset.find(la)
+        if way is not None:
+            self._on_hit(set_idx, way, is_write, pc, now, is_prefetch)
+            if on_done is not None:
+                self.engine.schedule(now + self.hit_latency_ticks,
+                                     lambda: on_done(now + self.hit_latency_ticks))
+            self._run_prefetcher(addr, pc, hit=True, now=now,
+                                 is_prefetch=is_prefetch)
+            return
+
+        # Miss: merge into an outstanding MSHR or allocate a new one.
+        self.stats.misses += 1
+        if is_prefetch:
+            self.stats.prefetch_misses += 1
+        elif is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+
+        entry = self.mshr.get(la)
+        if entry is not None:
+            entry.merge(is_write, is_prefetch, on_done)
+            self.stats.mshr_merges += 1
+        else:
+            entry = MSHREntry(
+                line_addr=la,
+                is_write=is_write,
+                pc=pc,
+                core_id=core_id,
+                is_prefetch=is_prefetch,
+                allocated_tick=now,
+            )
+            if on_done is not None:
+                entry.waiters.append(on_done)
+            self.mshr[la] = entry
+            self._try_issue(la, now)
+        self._run_prefetcher(addr, pc, hit=False, now=now,
+                             is_prefetch=is_prefetch)
+
+    def _on_hit(self, set_idx: int, way: int, is_write: bool, pc: int,
+                now: int, is_prefetch: bool) -> None:
+        line = self.sets[set_idx].lines[way]
+        self.stats.hits += 1
+        line.reused = True
+        if not is_prefetch:
+            self.repl.on_hit(set_idx, way, pc)
+        if is_write and not line.dirty:
+            line.dirty = True
+            if self.wb_policy is not None:
+                self.wb_policy.on_dirty(line.line_addr)
+        if self.wb_policy is not None and not is_prefetch:
+            self.wb_policy.on_hit(set_idx, way, now)
+
+    def _run_prefetcher(self, addr: int, pc: int, hit: bool, now: int,
+                        is_prefetch: bool) -> None:
+        if self.prefetcher is None or is_prefetch:
+            return
+        for target in self.prefetcher.on_access(addr, pc, hit):
+            tla = self.line_addr(target)
+            if tla == self.line_addr(addr):
+                continue
+            if self.sets[self.set_index(tla)].find(tla) is not None:
+                continue
+            if tla in self.mshr:
+                continue
+            self.access(tla, False, pc, now, None, is_prefetch=True)
+
+    # ------------------------------------------------------------------
+    # Miss handling
+    # ------------------------------------------------------------------
+
+    def _try_issue(self, line_addr: int, now: int) -> None:
+        if self._outstanding >= self.mshr_count:
+            self._issue_queue.append(line_addr)
+            return
+        self._issue(line_addr, now)
+
+    def _issue(self, line_addr: int, now: int) -> None:
+        entry = self.mshr[line_addr]
+        entry.issued = True
+        self._outstanding += 1
+        issue_at = now + self.hit_latency_ticks
+
+        def send() -> None:
+            self.lower.read(
+                line_addr,
+                self.engine.now,
+                lambda t, la=line_addr: self._on_fill(la, t),
+                entry.core_id,
+                entry.is_prefetch,
+                pc=entry.pc,
+            )
+
+        self.engine.schedule(issue_at, send)
+
+    def _on_fill(self, line_addr: int, now: int) -> None:
+        entry = self.mshr.pop(line_addr, None)
+        self._outstanding -= 1
+        if self._issue_queue:
+            self._issue(self._issue_queue.popleft(), now)
+        if entry is None:
+            # The fill raced with a writeback-install of the same line.
+            return
+        self.stats.fills += 1
+        self._install(line_addr, entry.is_write, entry.pc, now,
+                      entry.is_prefetch)
+        for waiter in entry.waiters:
+            waiter(now)
+
+    # ------------------------------------------------------------------
+    # Fill / install / evict
+    # ------------------------------------------------------------------
+
+    def _install(self, line_addr: int, dirty: bool, pc: int, now: int,
+                 is_prefetch: bool) -> None:
+        set_idx = self.set_index(line_addr)
+        cset = self.sets[set_idx]
+        way = cset.find_invalid()
+        if way is None:
+            way = self._choose_victim(set_idx, now)
+            self._evict(set_idx, way, now)
+        line = cset.lines[way]
+        line.valid = True
+        line.dirty = dirty
+        line.line_addr = line_addr
+        line.signature = pc_signature(pc)
+        line.reused = False
+        line.prefetched = is_prefetch
+        self.repl.on_fill(set_idx, way, pc, is_prefetch)
+        if dirty and self.wb_policy is not None:
+            self.wb_policy.on_dirty(line_addr)
+
+    def _choose_victim(self, set_idx: int, now: int) -> int:
+        default = self.repl.victim(set_idx, self.sets[set_idx].lines)
+        if self.wb_policy is None:
+            return default
+        return self.wb_policy.choose_victim(set_idx, default, now)
+
+    def _evict(self, set_idx: int, way: int, now: int) -> None:
+        line = self.sets[set_idx].lines[way]
+        if not line.valid:
+            return
+        self.stats.evictions += 1
+        self.repl.on_eviction(set_idx, way, line)
+        if line.dirty:
+            self.stats.dirty_evictions += 1
+            self._write_back(line.line_addr, now)
+            if self.wb_policy is not None:
+                self.wb_policy.on_undirty(line.line_addr)
+        line.reset()
+
+    def _write_back(self, line_addr: int, now: int) -> None:
+        self.stats.writebacks += 1
+        if self.wb_policy is not None:
+            self.wb_policy.on_writeback(line_addr)
+        self.lower.writeback(line_addr, now + self.hit_latency_ticks)
+
+    def cleanse(self, set_idx: int, way: int, now: int) -> None:
+        """Proactively write back a dirty line *without* evicting it.
+
+        This is the primitive BARD-C, Eager Writeback and VWQ build on
+        (paper Fig. 9): the line's data goes to the write queue and its
+        dirty bit clears, but it stays resident.
+        """
+        line = self.sets[set_idx].lines[way]
+        if not line.valid or not line.dirty:
+            return
+        line.dirty = False
+        self.stats.cleanses += 1
+        self._write_back(line.line_addr, now)
+        if self.wb_policy is not None:
+            self.wb_policy.on_undirty(line.line_addr)
+
+    # ------------------------------------------------------------------
+    # Writeback path from the level above
+    # ------------------------------------------------------------------
+
+    def writeback(self, line_addr: int, now: int) -> None:
+        """Receive a dirty victim from the upper level.
+
+        Hits update the line in place; misses install the line as dirty
+        without fetching (writeback-allocate, non-inclusive hierarchy).
+        """
+        la = self.line_addr(line_addr)
+        self.stats.writeback_installs += 1
+        found = self.find_line(la)
+        if found is not None:
+            set_idx, way = found
+            line = self.sets[set_idx].lines[way]
+            line.reused = True
+            if not line.dirty:
+                line.dirty = True
+                if self.wb_policy is not None:
+                    self.wb_policy.on_dirty(la)
+            self.repl.on_hit(set_idx, way, 0)
+            if self.wb_policy is not None:
+                self.wb_policy.on_hit(set_idx, way, now)
+            return
+        entry = self.mshr.get(la)
+        if entry is not None:
+            # A fill for this line is in flight; it will install dirty.
+            entry.is_write = True
+            return
+        self._install(la, True, 0, now, is_prefetch=False)
+
+    # Lower-level protocol alias: an upper cache calls ``read`` on us.
+    def read(self, line_addr: int, now: int, on_done: DoneCallback,
+             core_id: int, is_prefetch: bool, pc: int = 0) -> None:
+        self.access(line_addr, False, pc, now, on_done, core_id=core_id,
+                    is_prefetch=is_prefetch)

@@ -1,0 +1,58 @@
+"""Cache line and set containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class CacheLine:
+    """One way of one cache set.
+
+    ``line_addr`` is the full line-aligned physical address (so evictions can
+    be written back without reconstructing the address from tag bits).
+    """
+
+    valid: bool = False
+    dirty: bool = False
+    line_addr: int = 0
+    #: PC signature of the instruction that filled the line (SHiP).
+    signature: int = 0
+    #: Set when the line was re-referenced after fill (SHiP outcome bit).
+    reused: bool = False
+    #: Set for prefetch fills (statistics).
+    prefetched: bool = False
+
+    def reset(self) -> None:
+        self.valid = False
+        self.dirty = False
+        self.line_addr = 0
+        self.signature = 0
+        self.reused = False
+        self.prefetched = False
+
+
+@dataclass
+class CacheSet:
+    """A set: ``ways`` lines plus whatever state the policies keep."""
+
+    ways: int
+    lines: List[CacheLine] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = [CacheLine() for _ in range(self.ways)]
+
+    def find(self, line_addr: int) -> Optional[int]:
+        """Way index holding ``line_addr``, or None."""
+        for way, line in enumerate(self.lines):
+            if line.valid and line.line_addr == line_addr:
+                return way
+        return None
+
+    def find_invalid(self) -> Optional[int]:
+        for way, line in enumerate(self.lines):
+            if not line.valid:
+                return way
+        return None

@@ -1,0 +1,39 @@
+"""Miss Status Holding Register (MSHR) bookkeeping.
+
+Each outstanding miss owns one :class:`MSHREntry`; subsequent accesses to
+the same line merge into it.  The configured MSHR count bounds how many
+misses may be *outstanding at the next level*; excess misses queue inside
+the cache (modelling the pipeline backing up behind a full MSHR file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+#: Completion callback: receives the engine tick the data arrived.
+DoneCallback = Callable[[int], None]
+
+
+@dataclass
+class MSHREntry:
+    """State for one outstanding line fill."""
+
+    line_addr: int
+    is_write: bool
+    pc: int
+    core_id: int
+    is_prefetch: bool
+    allocated_tick: int
+    issued: bool = False
+    waiters: List[DoneCallback] = field(default_factory=list)
+
+    def merge(self, is_write: bool, is_prefetch: bool,
+              on_done: DoneCallback | None) -> None:
+        """Fold another access to the same line into this entry."""
+        self.is_write = self.is_write or is_write
+        if not is_prefetch:
+            # A demand access upgrades a prefetch-initiated miss.
+            self.is_prefetch = False
+        if on_done is not None:
+            self.waiters.append(on_done)

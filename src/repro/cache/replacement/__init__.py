@@ -1,0 +1,40 @@
+"""Cache replacement policies: LRU (baseline), SRRIP, SHiP."""
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.drrip import DRRIPPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.ship import SHiPPolicy, pc_signature
+from repro.cache.replacement.srrip import RRPV_INSERT, RRPV_MAX, SRRIPPolicy
+from repro.errors import ConfigError
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "srrip": SRRIPPolicy,
+    "ship": SHiPPolicy,
+    "drrip": DRRIPPolicy,
+}
+
+
+def make_replacement(name: str, num_sets: int, ways: int) -> ReplacementPolicy:
+    """Construct a replacement policy by name ('lru', 'srrip', 'ship')."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(num_sets, ways)
+
+
+__all__ = [
+    "DRRIPPolicy",
+    "LRUPolicy",
+    "ReplacementPolicy",
+    "RRPV_INSERT",
+    "RRPV_MAX",
+    "SHiPPolicy",
+    "SRRIPPolicy",
+    "make_replacement",
+    "pc_signature",
+]

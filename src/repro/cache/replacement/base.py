@@ -1,0 +1,48 @@
+"""Replacement-policy interface.
+
+BARD needs more from a replacement policy than "pick a victim": it scans the
+set *from least- to most-attractive line* looking for a low-cost dirty line
+(paper sections IV-B and VII-E).  Policies therefore also expose
+:meth:`eviction_order`, the per-set way ordering from most-evictable to
+least-evictable (LRU -> MRU for true LRU; descending RRPV for RRIP-family
+policies, ties broken by way index).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.cache.line import CacheLine
+
+
+class ReplacementPolicy(abc.ABC):
+    """Per-cache replacement state and decisions."""
+
+    name: str = "base"
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+
+    @abc.abstractmethod
+    def on_fill(self, set_idx: int, way: int, pc: int,
+                is_prefetch: bool = False) -> None:
+        """A new line was installed into (set, way)."""
+
+    @abc.abstractmethod
+    def on_hit(self, set_idx: int, way: int, pc: int) -> None:
+        """The line at (set, way) was re-referenced."""
+
+    @abc.abstractmethod
+    def victim(self, set_idx: int, lines: Sequence[CacheLine]) -> int:
+        """Way the policy would evict from ``set_idx``."""
+
+    @abc.abstractmethod
+    def eviction_order(self, set_idx: int,
+                       lines: Sequence[CacheLine]) -> List[int]:
+        """Ways ordered most-evictable first (LRU -> MRU or max -> min RRPV)."""
+
+    def on_eviction(self, set_idx: int, way: int,
+                    line: CacheLine) -> None:
+        """The line at (set, way) is being evicted (SHiP feedback hook)."""

@@ -1,0 +1,46 @@
+"""Writeback policies: baseline (none), Eager Writeback, VWQ, and BARD.
+
+BARD itself lives in :mod:`repro.core.bard`; :func:`make_writeback_policy`
+constructs any of them by name for configuration-driven wiring.
+"""
+
+from typing import Optional
+
+from repro.cache.writeback.base import WritebackPolicy, WritebackPolicyStats
+from repro.cache.writeback.eager import EagerWriteback
+from repro.cache.writeback.vwq import VirtualWriteQueue
+from repro.errors import ConfigError
+
+
+def make_writeback_policy(
+    name: Optional[str],
+    mapping,
+    tracker=None,
+    memctrl=None,
+) -> Optional[WritebackPolicy]:
+    """Construct a writeback policy by name.
+
+    Accepts: None/'none' (baseline), 'eager', 'vwq', 'bard-e', 'bard-c',
+    'bard-h'/'bard'.
+    """
+    if name is None or name.lower() == "none":
+        return None
+    lname = name.lower()
+    if lname == "eager":
+        return EagerWriteback()
+    if lname == "vwq":
+        return VirtualWriteQueue(mapping)
+    if lname.startswith("bard"):
+        from repro.core.bard import make_bard
+
+        return make_bard(lname, mapping, tracker=tracker, memctrl=memctrl)
+    raise ConfigError(f"unknown writeback policy {name!r}")
+
+
+__all__ = [
+    "EagerWriteback",
+    "VirtualWriteQueue",
+    "WritebackPolicy",
+    "WritebackPolicyStats",
+    "make_writeback_policy",
+]

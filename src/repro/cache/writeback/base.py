@@ -1,0 +1,65 @@
+"""Writeback-policy plugin interface.
+
+A writeback policy rides on top of the cache's replacement policy and may
+
+* override the victim choice (BARD-E),
+* proactively *cleanse* dirty lines - write them back without eviction
+  (BARD-C, Eager Writeback, Virtual Write Queue), and
+* observe dirty-bit transitions and issued writebacks (to keep its own
+  tracking state, e.g. the BLP-Tracker or VWQ's row index).
+
+The default implementation is a transparent no-op, which is also the
+baseline configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WritebackPolicyStats:
+    """Decision counters (paper Fig. 10 bottom)."""
+
+    victim_selections: int = 0
+    overrides: int = 0
+    cleanses: int = 0
+
+    @property
+    def plain_evictions(self) -> int:
+        return self.victim_selections - self.overrides
+
+
+class WritebackPolicy:
+    """Base (no-op) writeback policy; subclasses override selected hooks."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self.cache = None
+        self.stats = WritebackPolicyStats()
+
+    def attach(self, cache) -> None:
+        """Bind the policy to its cache (called by the cache constructor)."""
+        self.cache = cache
+
+    # -- victim selection ------------------------------------------------
+
+    def choose_victim(self, set_idx: int, default_way: int, now: int) -> int:
+        """Return the way to evict; may trigger cleanses as a side effect."""
+        self.stats.victim_selections += 1
+        return default_way
+
+    # -- observation hooks -------------------------------------------------
+
+    def on_hit(self, set_idx: int, way: int, now: int) -> None:
+        """A demand access hit (Eager Writeback triggers here too)."""
+
+    def on_dirty(self, line_addr: int) -> None:
+        """A resident line just became dirty."""
+
+    def on_undirty(self, line_addr: int) -> None:
+        """A dirty line was written back (evicted or cleansed)."""
+
+    def on_writeback(self, line_addr: int) -> None:
+        """A writeback for ``line_addr`` was issued toward memory."""

@@ -1,0 +1,88 @@
+"""Virtual Write Queue (Stuecheli et al., ISCA 2010) - paper section VI-B.
+
+VWQ raises the *row-buffer hit rate* of writes: when a dirty line is written
+back, other dirty LLC lines mapping to the *same DRAM row* are proactively
+cleaned so the writes drain as row hits.  Following the paper's methodology
+(section VI-C) we let VWQ search the entire LLC for same-row dirty lines
+(its original set-neighbourhood heuristic does not work under the
+page-interleaving mappings real systems use).
+
+The search is implemented with an incrementally maintained index from DRAM
+row to resident dirty lines, so it is O(lines in that row) per eviction
+rather than a full cache scan.
+
+The paper shows VWQ slightly *hurts* on DDR5 (-0.3%): row hits still pay the
+6x same-bankgroup write-to-write delay, and chasing them reduces the bank
+parallelism of the WRQ.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Set, Tuple
+
+from repro.cache.writeback.base import WritebackPolicy
+from repro.dram.mapping import ZenMapping
+
+#: Row key: (channel, subchannel, bankgroup, bank, row).
+RowKey = Tuple[int, int, int, int, int]
+
+#: Maximum lines cleaned per triggering eviction (bounds WRQ pressure).
+_MAX_CLEANS_PER_EVICTION = 4
+
+
+class VirtualWriteQueue(WritebackPolicy):
+    """Row-hit-seeking proactive writeback."""
+
+    name = "vwq"
+
+    def __init__(self, mapping: ZenMapping) -> None:
+        super().__init__()
+        self.mapping = mapping
+        self._rows: Dict[RowKey, Set[int]] = defaultdict(set)
+
+    def _row_key(self, line_addr: int) -> RowKey:
+        c = self.mapping.map(line_addr)
+        return (c.channel, c.subchannel, c.bankgroup, c.bank, c.row)
+
+    # -- dirty-line index maintenance -------------------------------------
+
+    def on_dirty(self, line_addr: int) -> None:
+        self._rows[self._row_key(line_addr)].add(line_addr)
+
+    def on_undirty(self, line_addr: int) -> None:
+        key = self._row_key(line_addr)
+        bucket = self._rows.get(key)
+        if bucket is not None:
+            bucket.discard(line_addr)
+            if not bucket:
+                del self._rows[key]
+
+    # -- proactive cleaning ------------------------------------------------
+
+    def choose_victim(self, set_idx: int, default_way: int, now: int) -> int:
+        self.stats.victim_selections += 1
+        cache = self.cache
+        victim = cache.sets[set_idx].lines[default_way]
+        if victim.valid and victim.dirty:
+            self._clean_same_row(victim.line_addr, now)
+        return default_way
+
+    def _clean_same_row(self, line_addr: int, now: int) -> None:
+        cache = self.cache
+        key = self._row_key(line_addr)
+        # Copy: cleansing mutates the index through on_undirty.
+        candidates = [a for a in self._rows.get(key, ()) if a != line_addr]
+        cleaned = 0
+        for addr in candidates:
+            if cleaned >= _MAX_CLEANS_PER_EVICTION:
+                break
+            found = cache.find_line(addr)
+            if found is None:
+                self._rows[key].discard(addr)
+                continue
+            s, w = found
+            if cache.sets[s].lines[w].dirty:
+                self.stats.cleanses += 1
+                cache.cleanse(s, w, now)
+                cleaned += 1

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``            one workload under one configuration, print metrics
+``compare``        one workload under several writeback policies
+``characterize``   Table IV-style characterization of several workloads
+``sweep-wq``       write-queue size sweep (paper Fig. 17)
+``list``           available workloads, policies, and presets
+
+Examples::
+
+    python -m repro run lbm --policy bard-h
+    python -m repro compare lbm --policies baseline bard-e bard-c bard-h
+    python -m repro characterize lbm copy cf whiskey
+    python -m repro sweep-wq --workloads lbm copy --sizes 32 48 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import characterization_report, comparison_report
+from repro.analysis.tables import format_table
+from repro.config.presets import paper_8core, paper_16core, small_8core, \
+    small_16core
+from repro.config.system import SystemConfig
+from repro.sim.runner import compare_policies, run_workload
+from repro.workloads.suites import ALL_WORKLOADS
+
+_PRESETS = {
+    "small-8core": small_8core,
+    "small-16core": small_16core,
+    "paper-8core": paper_8core,
+    "paper-16core": paper_16core,
+}
+
+_POLICY_CHOICES = ["baseline", "bard-e", "bard-c", "bard-h", "eager", "vwq"]
+
+
+def _policy_arg(name: str) -> Optional[str]:
+    return None if name == "baseline" else name
+
+
+def _build_config(args) -> SystemConfig:
+    cfg = _PRESETS[args.preset]()
+    if getattr(args, "replacement", None):
+        cfg = cfg.with_replacement(args.replacement)
+    if getattr(args, "device", None):
+        cfg = cfg.with_device(args.device)
+    if getattr(args, "ideal_writes", False):
+        cfg = cfg.with_ideal_writes()
+    if getattr(args, "refresh", False):
+        cfg = cfg.with_refresh()
+    return cfg
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", choices=sorted(_PRESETS),
+                        default="small-8core",
+                        help="system preset (default: small-8core)")
+    parser.add_argument("--replacement",
+                        choices=["lru", "srrip", "ship", "drrip"],
+                        help="LLC replacement policy")
+    parser.add_argument("--device", choices=["x4", "x8"],
+                        help="DDR5 device width")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _cmd_run(args) -> int:
+    cfg = _build_config(args)
+    cfg = cfg.with_writeback(_policy_arg(args.policy))
+    result = run_workload(cfg, args.workload, seed=args.seed)
+    print(characterization_report([(args.workload, result)],
+                                  title=f"run: {args.workload} "
+                                        f"({args.policy})"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    cfg = _build_config(args)
+    policies = [_policy_arg(p) for p in args.policies]
+    if policies[0] is not None:
+        policies.insert(0, None)
+    comp = compare_policies(cfg, args.workload, policies, seed=args.seed)
+    base = comp.results["baseline"]
+    for name, result in comp.results.items():
+        if name == "baseline":
+            continue
+        print(comparison_report(base, result, workload=args.workload))
+        print()
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    cfg = _build_config(args)
+    results = [
+        (wl, run_workload(cfg, wl, seed=args.seed))
+        for wl in args.workloads
+    ]
+    print(characterization_report(results))
+    return 0
+
+
+def _cmd_sweep_wq(args) -> int:
+    cfg = _build_config(args)
+    reference = {
+        wl: run_workload(cfg, wl, seed=args.seed)
+        for wl in args.workloads
+    }
+    rows = []
+    for size in args.sizes:
+        sized = cfg.with_wq(size)
+        for label, final_cfg in (
+            ("baseline", sized),
+            ("bard-h", sized.with_writeback("bard-h")),
+        ):
+            speedups = [
+                run_workload(final_cfg, wl, seed=args.seed)
+                .speedup_pct(reference[wl])
+                for wl in args.workloads
+            ]
+            rows.append((size, label,
+                         sum(speedups) / len(speedups)))
+    print(format_table(["WQ size", "policy", "mean speedup %"], rows,
+                       title="write-queue sweep vs 48-entry baseline "
+                             "(cf. paper Fig. 17)"))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("workloads:", " ".join(ALL_WORKLOADS))
+    print("policies: ", " ".join(_POLICY_CHOICES))
+    print("presets:  ", " ".join(sorted(_PRESETS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BARD (HPCA 2026) reproduction: DDR5 write-latency "
+                    "simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one workload")
+    p_run.add_argument("workload", choices=ALL_WORKLOADS)
+    p_run.add_argument("--policy", choices=_POLICY_CHOICES,
+                       default="baseline")
+    p_run.add_argument("--ideal-writes", action="store_true",
+                       dest="ideal_writes")
+    p_run.add_argument("--refresh", action="store_true")
+    _add_common(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare writeback policies")
+    p_cmp.add_argument("workload", choices=ALL_WORKLOADS)
+    p_cmp.add_argument("--policies", nargs="+", choices=_POLICY_CHOICES,
+                       default=["baseline", "bard-h"])
+    _add_common(p_cmp)
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_chr = sub.add_parser("characterize",
+                           help="Table IV-style characterization")
+    p_chr.add_argument("workloads", nargs="+", choices=ALL_WORKLOADS)
+    _add_common(p_chr)
+    p_chr.set_defaults(fn=_cmd_characterize)
+
+    p_wq = sub.add_parser("sweep-wq", help="write-queue size sweep")
+    p_wq.add_argument("--workloads", nargs="+", choices=ALL_WORKLOADS,
+                      default=["lbm", "copy"])
+    p_wq.add_argument("--sizes", nargs="+", type=int,
+                      default=[32, 48, 64, 96, 128])
+    _add_common(p_wq)
+    p_wq.set_defaults(fn=_cmd_sweep_wq)
+
+    p_ls = sub.add_parser("list", help="list workloads/policies/presets")
+    p_ls.set_defaults(fn=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Clock-domain constants.
+
+The simulation engine runs on an integer *tick* of 1/12 ns so that both
+clock domains in the paper's system are exact:
+
+* CPU cores at 4 GHz  -> 1 CPU cycle  = 3 ticks,
+* DDR5-4800 command clock at 2.4 GHz -> 1 DRAM cycle = 5 ticks.
+"""
+
+from __future__ import annotations
+
+#: Engine ticks per second (12 GHz tick base).
+TICKS_PER_SECOND = 12_000_000_000
+
+#: Engine ticks per CPU cycle (4 GHz core clock).
+TICKS_PER_CPU_CYCLE = 3
+
+#: Engine ticks per DRAM command-clock cycle (2.4 GHz).
+TICKS_PER_DRAM_CYCLE = 5
+
+#: Nanoseconds per engine tick.
+NS_PER_TICK = 1e9 / TICKS_PER_SECOND
+
+
+def cpu_cycles(ticks: int) -> float:
+    """Convert engine ticks to CPU cycles."""
+    return ticks / TICKS_PER_CPU_CYCLE
+
+
+def dram_cycles(ticks: int) -> float:
+    """Convert engine ticks to DRAM cycles."""
+    return ticks / TICKS_PER_DRAM_CYCLE
+
+
+def ticks_from_cpu(cycles: int) -> int:
+    """Convert CPU cycles to engine ticks."""
+    return cycles * TICKS_PER_CPU_CYCLE
+
+
+def ticks_from_dram(cycles: int) -> int:
+    """Convert DRAM cycles to engine ticks."""
+    return cycles * TICKS_PER_DRAM_CYCLE

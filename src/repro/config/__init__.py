@@ -1,0 +1,21 @@
+"""System configuration and presets."""
+
+from repro.config.presets import (
+    default_config,
+    paper_8core,
+    paper_16core,
+    small_8core,
+    small_16core,
+)
+from repro.config.system import CacheConfig, DramConfig, SystemConfig
+
+__all__ = [
+    "CacheConfig",
+    "DramConfig",
+    "SystemConfig",
+    "default_config",
+    "paper_8core",
+    "paper_16core",
+    "small_8core",
+    "small_16core",
+]

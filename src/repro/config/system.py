@@ -1,0 +1,133 @@
+"""System configuration dataclasses.
+
+A :class:`SystemConfig` describes the complete simulated machine (paper
+Table II).  Presets in :mod:`repro.config.presets` provide the paper's exact
+configuration plus a scaled-down profile suitable for pure-Python runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    ways: int
+    hit_latency: int
+    mshrs: int
+    replacement: str = "lru"
+    prefetcher: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0:
+            raise ConfigError("cache size and ways must be positive")
+        if self.hit_latency < 1 or self.mshrs < 1:
+            raise ConfigError("cache latency and MSHR count must be >= 1")
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DDR5 memory-system parameters (paper Table II defaults)."""
+
+    channels: int = 1
+    device: str = "x4"
+    rq_capacity: int = 64
+    wq_capacity: int = 48
+    wq_high: int = 40
+    wq_low: int = 8
+    ideal_writes: bool = False
+    pbpl: bool = True
+    #: Write-drain scheduling: 'min-latency' (baseline) or 'fcfs' (ablation).
+    drain_policy: str = "min-latency"
+    #: All-bank refresh model (off by default, matching the paper).
+    refresh: bool = False
+
+    def __post_init__(self) -> None:
+        if self.device not in ("x4", "x8"):
+            raise ConfigError("DRAM device must be 'x4' or 'x8'")
+        if not 0 <= self.wq_low < self.wq_high <= self.wq_capacity:
+            raise ConfigError("invalid write-queue watermarks")
+        if self.drain_policy not in ("min-latency", "fcfs"):
+            raise ConfigError("drain_policy must be 'min-latency' or 'fcfs'")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The full simulated machine."""
+
+    cores: int = 8
+    rob_size: int = 512
+    issue_width: int = 4
+    retire_width: int = 4
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(4096, 8, 1, 8)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(6144, 12, 4, 16,
+                                            prefetcher="berti")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(65536, 8, 14, 32,
+                                            prefetcher="spp")
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(524288, 16, 36, 128)
+    )
+    llc_writeback: Optional[str] = None
+    dram: DramConfig = field(default_factory=DramConfig)
+    warmup_instructions: int = 5_000
+    sim_instructions: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError("need at least one core")
+        if self.rob_size < self.issue_width:
+            raise ConfigError("ROB must hold at least one issue group")
+
+    def with_writeback(self, policy: Optional[str]) -> "SystemConfig":
+        """Copy of this config using the named LLC writeback policy."""
+        return replace(self, llc_writeback=policy)
+
+    def with_replacement(self, policy: str) -> "SystemConfig":
+        """Copy of this config using the named LLC replacement policy."""
+        return replace(self, llc=replace(self.llc, replacement=policy))
+
+    def with_wq(self, capacity: int, high: Optional[int] = None,
+                low: Optional[int] = None) -> "SystemConfig":
+        """Copy with a different write-queue size (paper Fig. 17 sweep).
+
+        Watermarks scale with capacity unless given explicitly (the paper's
+        48-entry queue uses high=40, low=8, i.e. high = capacity - 8).
+        """
+        high = high if high is not None else capacity - 8
+        low = low if low is not None else 8
+        return replace(
+            self, dram=replace(self.dram, wq_capacity=capacity,
+                               wq_high=high, wq_low=low)
+        )
+
+    def with_ideal_writes(self) -> "SystemConfig":
+        """Copy with the idealised write timing (every write at 3.3 ns)."""
+        return replace(self, dram=replace(self.dram, ideal_writes=True))
+
+    def with_device(self, device: str) -> "SystemConfig":
+        """Copy using 'x4' or 'x8' DRAM devices (paper Table VI)."""
+        return replace(self, dram=replace(self.dram, device=device))
+
+    def with_drain_policy(self, policy: str) -> "SystemConfig":
+        """Copy using a different write-drain scheduling policy."""
+        return replace(self, dram=replace(self.dram, drain_policy=policy))
+
+    def with_refresh(self) -> "SystemConfig":
+        """Copy with the all-bank refresh model enabled."""
+        return replace(self, dram=replace(self.dram, refresh=True))
+
+    def without_pbpl(self) -> "SystemConfig":
+        """Copy with permutation-based page interleaving disabled."""
+        return replace(self, dram=replace(self.dram, pbpl=False))

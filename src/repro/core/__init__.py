@@ -1,0 +1,19 @@
+"""The paper's contribution: BARD and the BLP-Tracker."""
+
+from repro.core.bard import BardAccuracy, BardPolicy, make_bard
+from repro.core.blp_tracker import (
+    BANKS_PER_CHANNEL,
+    BANKS_PER_SUBCHANNEL,
+    BLPTracker,
+    BLPTrackerStats,
+)
+
+__all__ = [
+    "BANKS_PER_CHANNEL",
+    "BANKS_PER_SUBCHANNEL",
+    "BLPTracker",
+    "BLPTrackerStats",
+    "BardAccuracy",
+    "BardPolicy",
+    "make_bard",
+]

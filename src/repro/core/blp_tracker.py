@@ -1,0 +1,90 @@
+"""BLP-Tracker: low-cost tracking of banks with pending writes (paper IV-A).
+
+One bit per DRAM bank per channel (64 banks/channel -> 8 bytes of SRAM per
+channel per LLC slice).  A bank's bit is set when the LLC issues a writeback
+mapping to it; BARD then treats that bank as "has a pending write" and avoids
+sending it more writes.  The tracker never talks to the memory controller.
+
+Self-reset (paper Fig. 7b): when all 32 bits belonging to one *sub-channel*
+become 1, those 32 bits reset to 0 - the write stream has covered every
+bank, so a new tracking epoch begins.
+
+The paper assumes all LLC slices' trackers are broadcast-synchronized
+(section VII-H); we model the post-synchronization state with a single
+shared instance and account the broadcast bandwidth analytically in the
+Table VIII benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigError
+
+#: Banks per DDR5 channel (2 sub-channels x 32 banks).
+BANKS_PER_CHANNEL = 64
+
+#: Banks per sub-channel (the self-reset granularity).
+BANKS_PER_SUBCHANNEL = 32
+
+
+@dataclass
+class BLPTrackerStats:
+    """Bookkeeping for overhead and accuracy analyses."""
+
+    bits_set: int = 0
+    self_resets: int = 0
+    broadcasts: int = 0
+
+
+@dataclass
+class BLPTracker:
+    """Per-channel bit vectors of banks that recently received a writeback."""
+
+    channels: int = 1
+    #: Ablation hook: with self_reset disabled the tracker saturates and
+    #: BARD eventually finds no "low-cost" banks at all.
+    self_reset: bool = True
+    bits: List[int] = field(default_factory=list)
+    stats: BLPTrackerStats = field(default_factory=BLPTrackerStats)
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigError("BLPTracker needs at least one channel")
+        if not self.bits:
+            self.bits = [0] * self.channels
+
+    @property
+    def storage_bytes_per_channel(self) -> int:
+        """SRAM cost: 64 bits = 8 bytes per channel per slice (paper)."""
+        return BANKS_PER_CHANNEL // 8
+
+    def is_pending(self, channel: int, bank_id: int) -> bool:
+        """Does BARD believe ``bank_id`` (0..63) has a pending write?"""
+        return bool(self.bits[channel] >> bank_id & 1)
+
+    def mark_writeback(self, channel: int, bank_id: int) -> None:
+        """Record a writeback to ``bank_id``; self-reset if a sub-channel
+        becomes fully covered."""
+        self.stats.broadcasts += 1
+        if not self.is_pending(channel, bank_id):
+            self.stats.bits_set += 1
+        self.bits[channel] |= 1 << bank_id
+        if not self.self_reset:
+            return
+        sub = bank_id // BANKS_PER_SUBCHANNEL
+        mask = ((1 << BANKS_PER_SUBCHANNEL) - 1) << (
+            sub * BANKS_PER_SUBCHANNEL
+        )
+        if self.bits[channel] & mask == mask:
+            self.bits[channel] &= ~mask
+            self.stats.self_resets += 1
+
+    def popcount(self, channel: int) -> int:
+        """Number of banks currently marked pending on ``channel``."""
+        return bin(self.bits[channel]).count("1")
+
+    def reset(self) -> None:
+        """Clear all bits (between statistics epochs)."""
+        self.bits = [0] * self.channels

@@ -1,0 +1,35 @@
+"""Trace-driven CPU model: cores, ROB, TLBs, and the trace protocol."""
+
+from repro.cpu.core import Core, CoreStats
+from repro.cpu.rob import ReorderBuffer, RobEntry
+from repro.cpu.tlb import TLB, TLBHierarchy, TLBStats
+from repro.cpu.trace import (
+    LOAD,
+    NONMEM,
+    STORE,
+    TraceRecord,
+    mem_fraction,
+    replay,
+    store_fraction,
+    take,
+    validate_record,
+)
+
+__all__ = [
+    "Core",
+    "CoreStats",
+    "LOAD",
+    "NONMEM",
+    "ReorderBuffer",
+    "RobEntry",
+    "STORE",
+    "TLB",
+    "TLBHierarchy",
+    "TLBStats",
+    "TraceRecord",
+    "mem_fraction",
+    "replay",
+    "store_fraction",
+    "take",
+    "validate_record",
+]

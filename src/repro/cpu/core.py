@@ -1,0 +1,215 @@
+"""Trace-driven out-of-order core model.
+
+The core consumes an infinite instruction trace and retires a configured
+budget.  Fidelity targets the paper's needs: memory-level parallelism is
+bounded by the ROB (512 entries) and the cache MSHRs, loads block retirement
+until their data returns, and stores dirty cache lines that later percolate
+to the LLC and DRAM as writebacks.
+
+Event-efficiency: a core self-schedules ticks only while it can make
+progress.  When the ROB head is an outstanding load and the ROB is full (or
+the issue window is blocked), the core goes dormant and is woken by the
+load-completion callback, so stall time costs no events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.clock import TICKS_PER_CPU_CYCLE
+from repro.cpu.rob import ReorderBuffer, RobEntry
+from repro.cpu.trace import LOAD, NONMEM, STORE, TraceRecord
+from repro.dram.commands import LINE_SIZE
+
+
+@dataclass
+class CoreStats:
+    """Retirement / traffic counters for one core."""
+
+    retired: int = 0
+    loads: int = 0
+    stores: int = 0
+    nonmem: int = 0
+    start_tick: int = 0
+    finish_tick: int = 0
+    sleeps: int = 0
+
+    @property
+    def cycles(self) -> float:
+        return (self.finish_tick - self.start_tick) / TICKS_PER_CPU_CYCLE
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles > 0 else 0.0
+
+
+class Core:
+    """One out-of-order core fed by a trace iterator."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Iterator[TraceRecord],
+        engine,
+        l1d,
+        l1i,
+        dtlb,
+        itlb,
+        rob_size: int = 512,
+        issue_width: int = 4,
+        retire_width: int = 4,
+        budget: int = 100_000,
+        on_finish: Optional[Callable[["Core"], None]] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.engine = engine
+        self.l1d = l1d
+        self.l1i = l1i
+        self.dtlb = dtlb
+        self.itlb = itlb
+        self.rob = ReorderBuffer(rob_size)
+        self.issue_width = issue_width
+        self.retire_width = retire_width
+        self.budget = budget
+        self.on_finish = on_finish
+        self.stats = CoreStats()
+        self.finished = False
+        self._sleeping = False
+        self._tick_scheduled = False
+        self._last_fetch_line = -1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.stats.start_tick = self.engine.now
+        self._schedule_tick(self.engine.now)
+
+    def reset_measurement(self, budget: int) -> None:
+        """Begin a fresh measurement epoch (end of warmup)."""
+        self.stats = CoreStats(start_tick=self.engine.now)
+        self.budget = budget
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def _schedule_tick(self, tick: int) -> None:
+        if self._tick_scheduled or self.finished:
+            return
+        self._tick_scheduled = True
+        self.engine.schedule(tick, self._tick)
+
+    def _wake(self) -> None:
+        if self._sleeping and not self.finished:
+            self._sleeping = False
+            self._schedule_tick(self.engine.now)
+
+    # ------------------------------------------------------------------
+    # The per-activation core step
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if self.finished:
+            return
+        now = self.engine.now
+
+        remaining = self.budget - self.stats.retired
+        self.stats.retired += self.rob.retire_ready(
+            now, min(self.retire_width, remaining)
+        )
+        if self.stats.retired >= self.budget:
+            self._finish(now)
+            return
+
+        issued = 0
+        while issued < self.issue_width and not self.rob.full:
+            kind, addr, pc = next(self.trace)
+            self._fetch(pc, now)
+            if kind == NONMEM:
+                self.rob.push(RobEntry(now + TICKS_PER_CPU_CYCLE))
+                self.stats.nonmem += 1
+            elif kind == LOAD:
+                entry = RobEntry(None, is_load=True)
+                self.rob.push(entry)
+                self.stats.loads += 1
+                self._issue_load(addr, pc, now, entry)
+            else:
+                # Stores retire immediately (post-retirement store buffer);
+                # the write still traverses the hierarchy and dirties lines.
+                self.rob.push(RobEntry(now + TICKS_PER_CPU_CYCLE))
+                self.stats.stores += 1
+                self._issue_store(addr, pc, now)
+            issued += 1
+
+        self._plan_next(now)
+
+    def _plan_next(self, now: int) -> None:
+        if not self.rob.full:
+            # Still issuing: out-of-order issue continues past a blocked
+            # head until the ROB fills.
+            self._schedule_tick(now + TICKS_PER_CPU_CYCLE)
+            return
+        head = self.rob.head
+        if head is not None and head.done_tick is not None:
+            self._schedule_tick(
+                max(head.done_tick, now + TICKS_PER_CPU_CYCLE)
+            )
+        else:
+            # ROB full behind an outstanding load; sleep until a
+            # completion callback wakes us.
+            self._sleeping = True
+            self.stats.sleeps += 1
+
+    def _finish(self, now: int) -> None:
+        self.finished = True
+        self.stats.finish_tick = now
+        if self.on_finish is not None:
+            self.on_finish(self)
+
+    # ------------------------------------------------------------------
+    # Memory interfaces
+    # ------------------------------------------------------------------
+
+    def _issue_load(self, addr: int, pc: int, now: int,
+                    entry: RobEntry) -> None:
+        delay = self.dtlb.translate(addr) * TICKS_PER_CPU_CYCLE
+
+        def done(t: int) -> None:
+            entry.done_tick = t
+            self._wake()
+
+        def send() -> None:
+            self.l1d.access(addr, False, pc, self.engine.now, done,
+                            core_id=self.core_id)
+
+        if delay:
+            self.engine.schedule(now + delay, send)
+        else:
+            send()
+
+    def _issue_store(self, addr: int, pc: int, now: int) -> None:
+        delay = self.dtlb.translate(addr) * TICKS_PER_CPU_CYCLE
+
+        def send() -> None:
+            self.l1d.access(addr, True, pc, self.engine.now, None,
+                            core_id=self.core_id)
+
+        if delay:
+            self.engine.schedule(now + delay, send)
+        else:
+            send()
+
+    def _fetch(self, pc: int, now: int) -> None:
+        """Instruction-side traffic: one L1I access per new fetch line."""
+        line = pc // LINE_SIZE
+        if line == self._last_fetch_line:
+            return
+        self._last_fetch_line = line
+        self.itlb.translate(pc)
+        self.l1i.access(pc, False, pc, now, None, core_id=self.core_id)

@@ -1,0 +1,88 @@
+"""TLB hierarchy (latency model).
+
+The paper's configuration (Table II) has small L1 I/D TLBs backed by a
+1024-set, 12-way L2 TLB.  We model the TLBs as set-associative LRU arrays
+whose misses add *latency* to the triggering access; page-walk memory
+traffic itself is not injected (documented substitution - the walk's cache
+footprint is second-order for the write-path experiments this repository
+targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: 4 KB pages.
+PAGE_BITS = 12
+
+
+@dataclass
+class TLBStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """Set-associative LRU TLB; ``lookup`` returns the added latency."""
+
+    def __init__(self, num_sets: int, ways: int, hit_latency: int = 0,
+                 name: str = "tlb") -> None:
+        self.name = name
+        self.num_sets = num_sets
+        self.ways = ways
+        self.hit_latency = hit_latency
+        self.stats = TLBStats()
+        # Per-set mapping of page number -> recency stamp.
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+        self._clock = 0
+
+    def _set_index(self, page: int) -> int:
+        return page % self.num_sets
+
+    def lookup(self, addr: int) -> bool:
+        """Translate; returns True on hit.  Inserts the page on miss."""
+        page = addr >> PAGE_BITS
+        s = self._sets[self._set_index(page)]
+        self.stats.accesses += 1
+        self._clock += 1
+        if page in s:
+            s[page] = self._clock
+            return True
+        self.stats.misses += 1
+        if len(s) >= self.ways:
+            lru_page = min(s, key=s.get)
+            del s[lru_page]
+        s[page] = self._clock
+        return False
+
+
+class TLBHierarchy:
+    """L1 TLB backed by a shared L2 TLB; returns total added cycles."""
+
+    def __init__(
+        self,
+        l1_sets: int = 16,
+        l1_ways: int = 4,
+        l2_sets: int = 1024,
+        l2_ways: int = 12,
+        l2_latency: int = 8,
+        walk_latency: int = 80,
+        name: str = "dtlb",
+    ) -> None:
+        self.l1 = TLB(l1_sets, l1_ways, name=f"{name}-l1")
+        self.l2 = TLB(l2_sets, l2_ways, name=f"{name}-l2")
+        self.l2_latency = l2_latency
+        self.walk_latency = walk_latency
+
+    def translate(self, addr: int) -> int:
+        """Added latency (CPU cycles) for translating ``addr``."""
+        if self.l1.lookup(addr):
+            return 0
+        if self.l2.lookup(addr):
+            return self.l2_latency
+        return self.l2_latency + self.walk_latency

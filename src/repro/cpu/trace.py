@@ -1,0 +1,78 @@
+"""Instruction-trace protocol.
+
+A trace is an iterator of ``(kind, addr, pc)`` tuples:
+
+* ``kind`` - :data:`NONMEM` (0), :data:`LOAD` (1) or :data:`STORE` (2),
+* ``addr`` - byte address for memory instructions (0 for non-memory),
+* ``pc``   - program counter of the instruction (drives SHiP signatures,
+  the Berti-like prefetcher, and instruction-fetch modelling).
+
+Workload generators (:mod:`repro.workloads`) produce *infinite* traces; the
+core retires instructions until its budget is reached.  This module also
+provides small helpers to materialise, replay, and validate traces for
+tests and trace-file tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import TraceError
+
+#: Instruction kinds.
+NONMEM = 0
+LOAD = 1
+STORE = 2
+
+TraceRecord = Tuple[int, int, int]
+
+
+def validate_record(rec: TraceRecord) -> TraceRecord:
+    """Check one record's shape; raises :class:`TraceError` if malformed."""
+    if len(rec) != 3:
+        raise TraceError(f"trace record must have 3 fields, got {rec!r}")
+    kind, addr, pc = rec
+    if kind not in (NONMEM, LOAD, STORE):
+        raise TraceError(f"bad instruction kind {kind!r}")
+    if addr < 0 or pc < 0:
+        raise TraceError(f"negative address/pc in record {rec!r}")
+    if kind != NONMEM and addr == 0:
+        raise TraceError("memory instruction with null address")
+    return rec
+
+
+def take(trace: Iterator[TraceRecord], n: int) -> List[TraceRecord]:
+    """Materialise the next ``n`` records (testing/inspection helper)."""
+    out: List[TraceRecord] = []
+    for _ in range(n):
+        try:
+            out.append(next(trace))
+        except StopIteration:
+            break
+    return out
+
+
+def replay(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+    """Loop a finite record list forever (simple trace-file playback)."""
+    records = list(records)
+    if not records:
+        raise TraceError("cannot replay an empty trace")
+    while True:
+        yield from records
+
+
+def mem_fraction(records: Iterable[TraceRecord]) -> float:
+    """Fraction of records that touch memory (workload calibration aid)."""
+    records = list(records)
+    if not records:
+        return 0.0
+    mem = sum(1 for k, _, _ in records if k != NONMEM)
+    return mem / len(records)
+
+
+def store_fraction(records: Iterable[TraceRecord]) -> float:
+    """Fraction of memory records that are stores."""
+    records = [r for r in records if r[0] != NONMEM]
+    if not records:
+        return 0.0
+    return sum(1 for k, _, _ in records if k == STORE) / len(records)

@@ -1,0 +1,47 @@
+"""DDR5 memory-system model (the paper's simulation substrate).
+
+Public surface:
+
+* :class:`~repro.dram.timing.DDR5Timing` and the
+  :func:`~repro.dram.timing.ddr5_4800_x4` / ``_x8`` presets,
+* :class:`~repro.dram.mapping.ZenMapping` (AMD Zen layout + PBPL),
+* :class:`~repro.dram.channel.Channel` /
+  :class:`~repro.dram.subchannel.SubChannel`,
+* :class:`~repro.dram.commands.MemRequest` and
+  :class:`~repro.dram.commands.DramCoord`.
+"""
+
+from repro.dram.bank import AccessKind, Bank
+from repro.dram.channel import Channel, ChannelStats
+from repro.dram.commands import LINE_BITS, LINE_SIZE, DramCoord, MemRequest, Op
+from repro.dram.mapping import ZenMapping
+from repro.dram.power import EnergyParams, PowerReport, estimate_power
+from repro.dram.queues import ReadQueue, WriteQueue
+from repro.dram.stats import DrainEpisode, SubChannelStats
+from repro.dram.subchannel import BANKS_PER_SUBCHANNEL, SubChannel
+from repro.dram.timing import DDR5Timing, ddr5_4800_x4, ddr5_4800_x8
+
+__all__ = [
+    "AccessKind",
+    "Bank",
+    "BANKS_PER_SUBCHANNEL",
+    "Channel",
+    "ChannelStats",
+    "DDR5Timing",
+    "DramCoord",
+    "DrainEpisode",
+    "EnergyParams",
+    "LINE_BITS",
+    "LINE_SIZE",
+    "MemRequest",
+    "Op",
+    "PowerReport",
+    "ReadQueue",
+    "SubChannel",
+    "SubChannelStats",
+    "WriteQueue",
+    "ZenMapping",
+    "ddr5_4800_x4",
+    "ddr5_4800_x8",
+    "estimate_power",
+]

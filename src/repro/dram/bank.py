@@ -1,0 +1,167 @@
+"""Per-bank DRAM state machine.
+
+The model tracks each bank's open row and computes, for a candidate request,
+the earliest cycle at which its *data burst* could start.  This
+"earliest-burst composition" is exactly the level at which the paper reasons
+about write latency (Figs. 4-5):
+
+* an open-row access needs only the CAS latency,
+* a closed bank needs ACT -> tRCD -> CAS,
+* a row-buffer conflict needs the full recovery chain, which for
+  back-to-back writes is ``tRCD + tCWL + tWR + tRP`` = 188 cycles
+  burst-to-burst (the paper's "24x" case).
+
+Cross-bank constraints (same-bankgroup tCCD_L, the shared data bus, and bus
+turnaround) are enforced by :class:`repro.dram.subchannel.SubChannel`; this
+module only owns same-bank state.
+
+All times in this module are DRAM command-clock cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.commands import Op
+from repro.dram.timing import DDR5Timing
+
+
+class AccessKind(enum.Enum):
+    """How a request interacts with the bank's row buffer."""
+
+    ROW_HIT = "hit"
+    ROW_CLOSED = "closed"
+    ROW_CONFLICT = "conflict"
+
+
+@dataclass
+class BankStats:
+    """Command counters for one bank (feeds the power model)."""
+
+    activates: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    row_closed: int = 0
+
+
+@dataclass
+class Bank:
+    """State of one DRAM bank.
+
+    Attributes
+    ----------
+    open_row:
+        Currently open row, or None if the bank is precharged.
+    act_cycle:
+        Cycle the current row's ACT command was issued (valid when a row is
+        open).
+    pre_done_cycle:
+        Earliest cycle a new ACT may be issued (tRP after the last PRE).
+    last_burst_cycle:
+        Start cycle of the most recent data burst to this bank.
+    last_burst_op:
+        Direction of that burst.
+    """
+
+    timing: DDR5Timing
+    open_row: Optional[int] = None
+    act_cycle: int = -(10**9)
+    pre_done_cycle: int = 0
+    last_burst_cycle: int = -(10**9)
+    last_burst_op: Optional[Op] = None
+    stats: BankStats = field(default_factory=BankStats)
+
+    def _cas(self, op: Op) -> int:
+        return self.timing.cwl if op is Op.WRITE else self.timing.cl
+
+    def classify(self, row: int) -> AccessKind:
+        """How would a request for ``row`` interact with the row buffer?"""
+        if self.open_row is None:
+            return AccessKind.ROW_CLOSED
+        if self.open_row == row:
+            return AccessKind.ROW_HIT
+        return AccessKind.ROW_CONFLICT
+
+    def earliest_burst(self, row: int, op: Op, ready: int) -> int:
+        """Earliest cycle the data burst for (row, op) could start.
+
+        ``ready`` is the earliest cycle the controller could have begun
+        issuing commands for this request (its arrival at the queue): a
+        pipelined controller plans PRE/ACT/CAS ahead of the data slot, so
+        preparation overlaps other banks' bursts.  Only same-bank
+        constraints are applied here; the sub-channel layers bus and
+        bankgroup constraints on top.
+        """
+        t = self.timing
+        cas = self._cas(op)
+        kind = self.classify(row)
+        if kind is AccessKind.ROW_HIT:
+            # RD/WR command may issue once tRCD has elapsed since ACT.
+            cmd_ready = max(ready, self.act_cycle + t.trcd)
+            return cmd_ready + cas
+        if kind is AccessKind.ROW_CLOSED:
+            act = max(ready, self.pre_done_cycle)
+            return act + t.trcd + cas
+        # Row conflict: PRE -> tRP -> ACT -> tRCD -> CAS, respecting write
+        # recovery from the previous burst and tRAS for the open row.
+        if self.last_burst_op is Op.WRITE:
+            recovery = self.last_burst_cycle + t.write_conflict_delay - (
+                t.trp + t.trcd + cas
+            )
+        else:
+            recovery = self.last_burst_cycle + t.read_conflict_delay - (
+                t.trp + t.trcd + cas
+            )
+        pre = max(ready, self.act_cycle + t.tras, recovery)
+        return pre + t.trp + t.trcd + cas
+
+    def commit(self, row: int, op: Op, burst_cycle: int) -> AccessKind:
+        """Record that a burst for (row, op) starts at ``burst_cycle``.
+
+        Returns the row-buffer interaction kind, for statistics.
+        """
+        t = self.timing
+        cas = self._cas(op)
+        kind = self.classify(row)
+        if kind is AccessKind.ROW_CONFLICT:
+            self.stats.precharges += 1
+            self.stats.activates += 1
+            self.stats.row_conflicts += 1
+            self.act_cycle = burst_cycle - cas - t.trcd
+        elif kind is AccessKind.ROW_CLOSED:
+            self.stats.activates += 1
+            self.stats.row_closed += 1
+            self.act_cycle = burst_cycle - cas - t.trcd
+        else:
+            self.stats.row_hits += 1
+        self.open_row = row
+        self.last_burst_cycle = burst_cycle
+        self.last_burst_op = op
+        if op is Op.WRITE:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return kind
+
+    def close_row(self, now: int) -> None:
+        """Precharge the bank (adaptive open-page row closure).
+
+        The PRE is issued as soon as legal: after tRAS from the ACT and, for
+        writes, after write recovery from the last burst.
+        """
+        if self.open_row is None:
+            return
+        t = self.timing
+        pre = max(now, self.act_cycle + t.tras)
+        if self.last_burst_op is Op.WRITE:
+            pre = max(pre, self.last_burst_cycle + t.cwl + t.twr)
+        else:
+            pre = max(pre, self.last_burst_cycle + t.burst)
+        self.open_row = None
+        self.pre_done_cycle = pre + t.trp
+        self.stats.precharges += 1

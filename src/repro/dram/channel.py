@@ -1,0 +1,223 @@
+"""DDR5 channel: two independent sub-channels plus controller front-end.
+
+The channel is the component the LLC talks to.  It
+
+* routes requests to the correct sub-channel using the address mapping's
+  coordinates,
+* forwards reads that hit a buffered write (WRQ forwarding logic),
+* stages requests that do not fit in the bounded read/write queues and
+  replays them as space frees up, and
+* bridges the DRAM clock domain to the engine's tick domain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.clock import TICKS_PER_DRAM_CYCLE
+from repro.dram.commands import MemRequest, Op
+from repro.dram.stats import SubChannelStats
+from repro.dram.subchannel import SubChannel
+from repro.dram.timing import DDR5Timing
+
+#: Latency (DRAM cycles) of servicing a read by forwarding from the WRQ.
+_FORWARD_LATENCY = 4
+
+#: Number of sub-channels per DDR5 channel.
+SUBCHANNELS = 2
+
+
+@dataclass
+class ChannelStats:
+    """Front-end counters (per channel, engine-tick domain)."""
+
+    reads_received: int = 0
+    writes_received: int = 0
+    forwarded_reads: int = 0
+    staged_reads: int = 0
+    staged_writes: int = 0
+    read_latency_ticks: int = 0
+    reads_completed: int = 0
+
+    @property
+    def mean_read_latency_ticks(self) -> float:
+        if not self.reads_completed:
+            return 0.0
+        return self.read_latency_ticks / self.reads_completed
+
+
+class Channel:
+    """One DDR5 channel with two sub-channels."""
+
+    def __init__(
+        self,
+        timing: DDR5Timing,
+        rq_capacity: int = 64,
+        wq_capacity: int = 48,
+        wq_high: int = 40,
+        wq_low: int = 8,
+        ideal_writes: bool = False,
+        drain_policy: str = "min-latency",
+        refresh: bool = False,
+    ) -> None:
+        self.timing = timing
+        self.subchannels: List[SubChannel] = [
+            SubChannel(
+                timing,
+                rq_capacity=rq_capacity,
+                wq_capacity=wq_capacity,
+                wq_high=wq_high,
+                wq_low=wq_low,
+                ideal_writes=ideal_writes,
+                drain_policy=drain_policy,
+                refresh=refresh,
+            )
+            for _ in range(SUBCHANNELS)
+        ]
+        self.stats = ChannelStats()
+        self._engine = None
+        self._staged_reads: List[Deque[MemRequest]] = [
+            deque() for _ in range(SUBCHANNELS)
+        ]
+        self._staged_writes: List[Deque[MemRequest]] = [
+            deque() for _ in range(SUBCHANNELS)
+        ]
+        self._next_event: List[Optional[int]] = [None] * SUBCHANNELS
+
+    def attach(self, engine) -> None:
+        """Connect the channel to the simulation engine."""
+        self._engine = engine
+
+    # ------------------------------------------------------------------
+    # Request submission (LLC-facing)
+    # ------------------------------------------------------------------
+
+    def submit(self, req: MemRequest) -> None:
+        """Accept a read or write request for this channel."""
+        sc_idx = req.coord.subchannel
+        sc = self.subchannels[sc_idx]
+        req.arrival_cycle = self._now_cycle()
+        if req.op is Op.READ:
+            self.stats.reads_received += 1
+            if self._forwardable(sc_idx, req.addr):
+                self.stats.forwarded_reads += 1
+                self._complete_read_at(
+                    req, self._now_cycle() + _FORWARD_LATENCY
+                )
+                return
+            req = self._wrap_read(req)
+            if not sc.enqueue_read(req):
+                self.stats.staged_reads += 1
+                self._staged_reads[sc_idx].append(req)
+        else:
+            self.stats.writes_received += 1
+            if not sc.enqueue_write(req):
+                self.stats.staged_writes += 1
+                self._staged_writes[sc_idx].append(req)
+        self._kick(sc_idx, self._now_cycle())
+
+    def _forwardable(self, sc_idx: int, addr: int) -> bool:
+        if self.subchannels[sc_idx].wq.contains_addr(addr):
+            return True
+        return any(r.addr == addr for r in self._staged_writes[sc_idx])
+
+    def _wrap_read(self, req: MemRequest) -> MemRequest:
+        """Wrap the completion callback to account read latency."""
+        inner = req.on_complete
+        arrival = self._now_tick()
+
+        def done(cycle: int) -> None:
+            tick = cycle * TICKS_PER_DRAM_CYCLE
+            self.stats.reads_completed += 1
+            self.stats.read_latency_ticks += max(0, tick - arrival)
+            if inner is not None:
+                self._engine.schedule(tick, lambda: inner(tick))
+
+        req.on_complete = done
+        return req
+
+    def _complete_read_at(self, req: MemRequest, cycle: int) -> None:
+        tick = cycle * TICKS_PER_DRAM_CYCLE
+        arrival = self._now_tick()
+        inner = req.on_complete
+        self.stats.reads_completed += 1
+        self.stats.read_latency_ticks += max(0, tick - arrival)
+        if inner is not None:
+            self._engine.schedule(tick, lambda: inner(tick))
+
+    # ------------------------------------------------------------------
+    # Clock bridging and scheduling
+    # ------------------------------------------------------------------
+
+    def _now_tick(self) -> int:
+        return self._engine.now if self._engine is not None else 0
+
+    def _now_cycle(self) -> int:
+        tick = self._now_tick()
+        return -(-tick // TICKS_PER_DRAM_CYCLE)  # ceil division
+
+    def _kick(self, sc_idx: int, cycle: int) -> None:
+        """Ensure a scheduler tick for sub-channel ``sc_idx`` at ``cycle``."""
+        pending = self._next_event[sc_idx]
+        if pending is not None and pending <= cycle:
+            return
+        self._next_event[sc_idx] = cycle
+        tick = max(cycle * TICKS_PER_DRAM_CYCLE, self._now_tick())
+        self._engine.schedule(tick, lambda: self._tick_sc(sc_idx))
+
+    def _tick_sc(self, sc_idx: int) -> None:
+        cycle = self._now_tick() // TICKS_PER_DRAM_CYCLE
+        expected = self._next_event[sc_idx]
+        if expected is not None and expected > cycle:
+            # A newer, earlier kick superseded this event.
+            return
+        self._next_event[sc_idx] = None
+        sc = self.subchannels[sc_idx]
+        nxt = sc.tick(cycle)
+        self._replay_staged(sc_idx)
+        if nxt is not None:
+            self._kick(sc_idx, max(nxt, cycle + 1))
+
+    def _replay_staged(self, sc_idx: int) -> None:
+        """Move staged requests into the bounded queues as space frees."""
+        sc = self.subchannels[sc_idx]
+        staged_w = self._staged_writes[sc_idx]
+        while staged_w and sc.enqueue_write(staged_w[0]):
+            staged_w.popleft()
+        staged_r = self._staged_reads[sc_idx]
+        while staged_r and sc.enqueue_read(staged_r[0]):
+            staged_r.popleft()
+
+    # ------------------------------------------------------------------
+    # Introspection / end-of-run
+    # ------------------------------------------------------------------
+
+    def pending_writes_for_bank(self, bank_id: int) -> int:
+        """Ground-truth pending writes for a per-channel bank id (0..63).
+
+        Used only by the BLP-Tracker accuracy probe (paper section VII-I);
+        BARD itself never calls this.
+        """
+        sc_idx, sub_bank = divmod(bank_id, 32)
+        count = self.subchannels[sc_idx].wq.pending_for_bank(sub_bank)
+        count += sum(
+            1
+            for r in self._staged_writes[sc_idx]
+            if r.coord.subchannel_bank_id == sub_bank
+        )
+        return count
+
+    def finalize(self) -> None:
+        """Close out statistics at the end of a run."""
+        cycle = self._now_cycle()
+        for sc in self.subchannels:
+            sc.finalize(cycle)
+
+    def aggregate_stats(self) -> SubChannelStats:
+        """Sum of both sub-channels' statistics."""
+        total = SubChannelStats()
+        for sc in self.subchannels:
+            total.merge_from(sc.stats)
+        return total

@@ -1,0 +1,146 @@
+"""DRAM address mappings: AMD Zen layout plus PBPL swizzling.
+
+The paper (Fig. 6) uses the AMD Zen mapping, which distributes a 4 KB page
+across 32 banks so that only two lines of a page are co-resident in the same
+bank.  Reading upward from the 64-byte line offset the physical-address bits
+are::
+
+    bit 6        : sub-channel select        (sc)
+    bit 7        : column bit 0              (co)
+    bits 8-10    : bankgroup select          (bg, 8 bankgroups)
+    bits 11-12   : bank select               (ba, 4 banks/bankgroup)
+    bits 13-18   : column bits 1-6           (co)
+    bits 19+     : row address
+
+On top of Zen the paper layers Permutation-Based Page Interleaving (PBPL,
+Zhang et al., MICRO 2000): the bank and bankgroup select bits are XORed with
+low row-address bits so that lines mapping to the same LLC set spread across
+different DRAM banks, reducing bank conflicts.
+
+For multi-channel systems (the paper's 16-core configuration uses two
+channels) channel-select bits are taken immediately above the line offset and
+the Zen layout shifts up accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import LINE_BITS, DramCoord
+from repro.errors import MappingError
+
+_SC_BITS = 1
+_CO0_BITS = 1
+_BG_BITS = 3
+_BA_BITS = 2
+_CO1_BITS = 6
+
+
+def _bits(value: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``lo``."""
+    return (value >> lo) & ((1 << width) - 1)
+
+
+@dataclass(frozen=True)
+class ZenMapping:
+    """AMD Zen address mapping with optional PBPL bank swizzling.
+
+    Parameters
+    ----------
+    channels:
+        Number of independent DDR5 channels (must be a power of two).
+    pbpl:
+        When True (the paper's baseline), XOR the bank/bankgroup select bits
+        with the low row bits (permutation-based page interleaving).
+    row_bits:
+        Number of row-address bits retained (caps DRAM capacity; addresses
+        beyond that wrap, which is harmless for simulation purposes).
+    """
+
+    channels: int = 1
+    pbpl: bool = True
+    row_bits: int = 17
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.channels & (self.channels - 1):
+            raise MappingError("channel count must be a power of two")
+        if self.row_bits < 6:
+            raise MappingError("row_bits must be at least 6")
+
+    @property
+    def channel_bits(self) -> int:
+        return self.channels.bit_length() - 1
+
+    @property
+    def banks_per_subchannel(self) -> int:
+        return (1 << _BG_BITS) * (1 << _BA_BITS)
+
+    @property
+    def banks_per_channel(self) -> int:
+        return self.banks_per_subchannel * (1 << _SC_BITS)
+
+    def map(self, addr: int) -> DramCoord:
+        """Translate a physical byte address to DRAM coordinates."""
+        if addr < 0:
+            raise MappingError(f"negative address {addr:#x}")
+        bit = LINE_BITS
+        channel = _bits(addr, bit, self.channel_bits)
+        bit += self.channel_bits
+        sc = _bits(addr, bit, _SC_BITS)
+        bit += _SC_BITS
+        co0 = _bits(addr, bit, _CO0_BITS)
+        bit += _CO0_BITS
+        bg = _bits(addr, bit, _BG_BITS)
+        bit += _BG_BITS
+        ba = _bits(addr, bit, _BA_BITS)
+        bit += _BA_BITS
+        co1 = _bits(addr, bit, _CO1_BITS)
+        bit += _CO1_BITS
+        row = _bits(addr, bit, self.row_bits)
+        if self.pbpl:
+            ba ^= _bits(row, 0, _BA_BITS)
+            bg ^= _bits(row, _BA_BITS, _BG_BITS)
+        column = (co1 << _CO0_BITS) | co0
+        return DramCoord(
+            channel=channel,
+            subchannel=sc,
+            bankgroup=bg,
+            bank=ba,
+            row=row,
+            column=column,
+        )
+
+    def compose(self, coord: DramCoord) -> int:
+        """Inverse of :meth:`map`: rebuild the physical byte address.
+
+        Used by tests to establish that the mapping is a bijection, and by
+        workload tooling that wants to *construct* addresses hitting a
+        specific bank/row.
+        """
+        bg = coord.bankgroup
+        ba = coord.bank
+        if self.pbpl:
+            ba ^= _bits(coord.row, 0, _BA_BITS)
+            bg ^= _bits(coord.row, _BA_BITS, _BG_BITS)
+        co0 = coord.column & 1
+        co1 = coord.column >> _CO0_BITS
+        addr = 0
+        bit = LINE_BITS
+        addr |= (coord.channel & ((1 << self.channel_bits) - 1)) << bit
+        bit += self.channel_bits
+        addr |= (coord.subchannel & 1) << bit
+        bit += _SC_BITS
+        addr |= (co0 & 1) << bit
+        bit += _CO0_BITS
+        addr |= (bg & ((1 << _BG_BITS) - 1)) << bit
+        bit += _BG_BITS
+        addr |= (ba & ((1 << _BA_BITS) - 1)) << bit
+        bit += _BA_BITS
+        addr |= (co1 & ((1 << _CO1_BITS) - 1)) << bit
+        bit += _CO1_BITS
+        addr |= (coord.row & ((1 << self.row_bits) - 1)) << bit
+        return addr
+
+    def bank_id(self, addr: int) -> int:
+        """Flat per-channel bank index (0..63) for BLP-Tracker lookups."""
+        return self.map(addr).bank_id

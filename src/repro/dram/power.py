@@ -1,0 +1,66 @@
+"""DRAM power and energy model (paper Table IX).
+
+An IDD-style model: each command class carries a fixed energy, plus a
+background power drawn for the whole run.  Absolute values are rough DDR5
+datasheet-scale numbers; the paper's Table IX only relies on *relative*
+power/energy/EDP between configurations, which a command-count model
+captures (BARD adds writebacks -> more energy, but finishes sooner -> lower
+energy-delay product).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.stats import SubChannelStats
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (nanojoules) and background power (watts)."""
+
+    act_pre_nj: float = 2.2
+    read_nj: float = 1.4
+    write_nj: float = 1.6
+    #: Extra energy for the on-die-ECC read-modify-write a same-bankgroup
+    #: write triggers on x4 devices.
+    write_rmw_nj: float = 0.7
+    background_w: float = 0.35
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Energy/power/EDP summary for one run."""
+
+    energy_nj: float
+    runtime_ns: float
+
+    @property
+    def power_w(self) -> float:
+        if self.runtime_ns <= 0:
+            return 0.0
+        return self.energy_nj / self.runtime_ns
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (nJ * ns)."""
+        return self.energy_nj * self.runtime_ns
+
+
+def estimate_power(
+    stats: SubChannelStats,
+    runtime_ns: float,
+    params: EnergyParams = EnergyParams(),
+) -> PowerReport:
+    """Estimate DRAM energy for a run from command counters."""
+    energy = 0.0
+    energy += stats.activates * params.act_pre_nj
+    energy += stats.reads_issued * params.read_nj
+    energy += stats.writes_issued * params.write_nj
+    # Same-bankgroup writes pay the internal read-modify-write; approximate
+    # their count with writes that were row hits or conflicts (same-bank
+    # traffic) plus a fraction of the rest.
+    rmw_writes = stats.write_row_hits + stats.write_row_conflicts
+    energy += rmw_writes * params.write_rmw_nj
+    energy += params.background_w * runtime_ns
+    return PowerReport(energy_nj=energy, runtime_ns=runtime_ns)

@@ -1,0 +1,334 @@
+"""DDR5 sub-channel model: 32 banks, one simplex data bus, one scheduler.
+
+Each DDR5 sub-channel has its own 32-bit data bus and operates independently
+(paper section II-B), so scheduling, write-drain watermarks, bus turnaround
+and the BLP statistics are all per-sub-channel.
+
+Scheduling policy (paper Table II): FR-FCFS with read priority.  The bus
+stays in read mode until the write queue reaches its high watermark, then
+drains writes until the low watermark is reached.  While draining, the
+scheduler picks the write with the *earliest achievable data burst* (the
+paper: "the memory controller tries to issue lower latency writes from the
+WRQ"), which naturally prefers different-bankgroup banks without pending
+conflicts.
+
+All times in this module are DRAM command-clock cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dram.bank import AccessKind, Bank
+from repro.dram.commands import MemRequest, Op
+from repro.dram.queues import ReadQueue, WriteQueue
+from repro.dram.stats import DrainEpisode, SubChannelStats
+from repro.dram.timing import DDR5Timing
+
+#: Number of bankgroups and banks per bankgroup in a DDR5 sub-channel.
+BANKGROUPS = 8
+BANKS_PER_GROUP = 4
+BANKS_PER_SUBCHANNEL = BANKGROUPS * BANKS_PER_GROUP
+
+_FAR_PAST = -(10**9)
+
+#: Scheduling lookahead (DRAM cycles): the scheduler keeps committing
+#: requests while the bus is reserved less than this far into the future.
+#: This models command-bus pipelining - a bank's PRE/ACT preparation
+#: overlaps the data bursts of other banks - while keeping decisions fresh
+#: enough to react to newly arriving requests.
+_PIPELINE_HORIZON = 24
+
+
+class SubChannel:
+    """One DDR5 sub-channel: banks, queues, bus, and scheduler."""
+
+    def __init__(
+        self,
+        timing: DDR5Timing,
+        rq_capacity: int = 64,
+        wq_capacity: int = 48,
+        wq_high: int = 40,
+        wq_low: int = 8,
+        ideal_writes: bool = False,
+        drain_policy: str = "min-latency",
+        refresh: bool = False,
+    ) -> None:
+        """``drain_policy`` selects how writes are picked during a drain:
+        'min-latency' (the baseline MC behaviour the paper assumes - issue
+        the lowest-latency write available) or 'fcfs' (oldest first, an
+        ablation showing how much the scheduler itself contributes).
+
+        ``refresh`` enables an all-bank refresh model (tREFI/tRFC); the
+        paper omits refresh, so it defaults off and exists for ablation.
+        """
+        if drain_policy not in ("min-latency", "fcfs"):
+            raise ValueError(f"unknown drain policy {drain_policy!r}")
+        self.timing = timing
+        self.drain_policy = drain_policy
+        self.refresh_enabled = refresh
+        #: All-bank refresh interval and duration in DRAM cycles
+        #: (DDR5: tREFI ~3.9 us, tRFC ~295 ns at 2.4 GHz).
+        self.trefi = 9360
+        self.trfc = 708
+        self._next_refresh = self.trefi
+        self.refreshes_performed = 0
+        self.banks: List[Bank] = [
+            Bank(timing) for _ in range(BANKS_PER_SUBCHANNEL)
+        ]
+        self.rq = ReadQueue(rq_capacity)
+        self.wq = WriteQueue(wq_capacity, wq_high, wq_low)
+        self.ideal_writes = ideal_writes
+        self.stats = SubChannelStats()
+
+        self.bus_free_cycle = 0
+        self.bus_mode: Op = Op.READ
+        self._last_wr_burst_bg = [_FAR_PAST] * BANKGROUPS
+        self._last_rd_burst_bg = [_FAR_PAST] * BANKGROUPS
+        self._last_wr_burst = _FAR_PAST
+        self._last_rd_burst = _FAR_PAST
+
+        self._in_drain = False
+        self._episode_start = 0
+        self._episode_writes = 0
+        self._episode_banks: set[int] = set()
+        self._episode_last_burst = _FAR_PAST
+        self._drain_all = False
+
+    # ------------------------------------------------------------------
+    # Queue interface (called by the channel)
+    # ------------------------------------------------------------------
+
+    def enqueue_read(self, req: MemRequest) -> bool:
+        """Add a read; returns False when the read queue is full.
+
+        Reads that hit a buffered write are forwarded by the caller
+        (:class:`repro.dram.channel.Channel`) and never reach this queue.
+        """
+        return self.rq.push(req)
+
+    def enqueue_write(self, req: MemRequest) -> bool:
+        """Add a write; returns False when the write queue is full."""
+        return self.wq.push(req)
+
+    @property
+    def idle(self) -> bool:
+        return not self.rq.entries and not self.wq.entries
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def earliest_burst(self, req: MemRequest, now: int) -> int:
+        """Earliest data-burst start for ``req`` given all constraints."""
+        t = self.timing
+        coord = req.coord
+        bg = coord.bankgroup
+        ready = min(req.arrival_cycle, now)
+        if req.op is Op.WRITE and self.ideal_writes:
+            # Idealised system (paper Figs. 2/14, Table V "Ideal"): every
+            # write occupies the bus for BL/2 and nothing else.
+            burst = max(ready, self.bus_free_cycle,
+                        self._last_wr_burst + t.tccd_s_wr)
+        else:
+            bank = self.banks[coord.subchannel_bank_id]
+            burst = bank.earliest_burst(coord.row, req.op, ready)
+            burst = max(burst, self.bus_free_cycle)
+            if req.op is Op.WRITE:
+                burst = max(
+                    burst,
+                    self._last_wr_burst_bg[bg] + t.tccd_l_wr,
+                    self._last_wr_burst + t.tccd_s_wr,
+                )
+            else:
+                burst = max(
+                    burst,
+                    self._last_rd_burst_bg[bg] + t.tccd_l_rd,
+                    self._last_rd_burst + t.tccd_s_rd,
+                )
+        if req.op is not self.bus_mode:
+            burst = max(burst, self.bus_free_cycle + t.turnaround)
+        return burst
+
+    def _pick_read(self, now: int) -> Optional[MemRequest]:
+        """FR-FCFS: oldest row-hit first, else oldest request."""
+        hit: Optional[MemRequest] = None
+        for req in self.rq.entries:
+            bank = self.banks[req.coord.subchannel_bank_id]
+            if bank.classify(req.coord.row) is AccessKind.ROW_HIT:
+                hit = req
+                break
+        return hit if hit is not None else (
+            self.rq.entries[0] if self.rq.entries else None
+        )
+
+    def _pick_write(self, now: int) -> Optional[MemRequest]:
+        """Select the next write to drain.
+
+        'min-latency': the paper's assumed MC behaviour - issue the write
+        with the earliest achievable burst.  'fcfs': oldest write first
+        (ablation).
+        """
+        if self.drain_policy == "fcfs":
+            return self.wq.oldest()
+        best: Optional[MemRequest] = None
+        best_burst = 0
+        for req in self.wq.entries:
+            burst = self.earliest_burst(req, now)
+            if best is None or burst < best_burst:
+                best, best_burst = req, burst
+        return best
+
+    def _update_drain_mode(self, now: int) -> None:
+        if self._in_drain:
+            if self.wq.at_or_below_low_watermark and not (
+                self._drain_all and self.wq.entries
+            ):
+                self._end_episode()
+        elif self.wq.at_high_watermark or (self._drain_all and self.wq.entries):
+            self._in_drain = True
+            self._episode_start = now
+            self._episode_writes = 0
+            self._episode_banks = set()
+            self._episode_last_burst = _FAR_PAST
+
+    def _end_episode(self) -> None:
+        self._in_drain = False
+        if self._episode_writes:
+            end = self._episode_last_burst + self.timing.burst
+            self.stats.episodes.append(
+                DrainEpisode(
+                    writes=self._episode_writes,
+                    unique_banks=len(self._episode_banks),
+                    start_cycle=self._episode_start,
+                    end_cycle=end,
+                )
+            )
+            self.stats.write_mode_cycles += end - self._episode_start
+
+    def tick(self, now: int) -> Optional[int]:
+        """Attempt to issue one request; returns the next cycle to retry.
+
+        Returns None when both queues are empty (the channel re-kicks the
+        sub-channel when new requests arrive).
+        """
+        self._maybe_refresh(now)
+        while True:
+            self._update_drain_mode(now)
+            if self.idle:
+                return None
+            if self.bus_free_cycle > now + _PIPELINE_HORIZON:
+                return self.bus_free_cycle - _PIPELINE_HORIZON
+            if self._in_drain:
+                req = self._pick_write(now)
+            else:
+                req = self._pick_read(now)
+            if req is None:
+                # Reads drained; nothing to do until the write watermark
+                # trips or a new read arrives.
+                return None
+            # Commit the best candidate: its bank preparation (PRE/ACT)
+            # starts now and overlaps earlier requests' bursts; the data
+            # burst itself is serialised on the bus.
+            burst = self.earliest_burst(req, now)
+            self._issue(req, burst)
+
+    def _issue(self, req: MemRequest, burst: int) -> None:
+        t = self.timing
+        coord = req.coord
+        if req.op is not self.bus_mode:
+            self.stats.turnaround_cycles += t.turnaround
+            self.bus_mode = req.op
+        burst_end = burst + t.burst
+        self.bus_free_cycle = burst_end
+        self.stats.busy_cycles += t.burst
+        req.burst_tick = burst
+
+        if req.op is Op.WRITE and self.ideal_writes:
+            self._last_wr_burst = burst
+        else:
+            bank = self.banks[coord.subchannel_bank_id]
+            kind = bank.commit(coord.row, req.op, burst)
+            self._record_kind(req.op, kind)
+            if req.op is Op.WRITE:
+                self._last_wr_burst_bg[coord.bankgroup] = burst
+                self._last_wr_burst = burst
+            else:
+                self._last_rd_burst_bg[coord.bankgroup] = burst
+                self._last_rd_burst = burst
+            self._maybe_close_row(bank, coord, burst_end)
+
+        if req.op is Op.WRITE:
+            self.wq.remove(req)
+            self.stats.writes_issued += 1
+            if self._episode_writes:
+                self.stats.record_w2w(burst - self._episode_last_burst)
+            self._episode_writes += 1
+            self._episode_banks.add(coord.subchannel_bank_id)
+            self._episode_last_burst = burst
+        else:
+            self.rq.remove(req)
+            self.stats.reads_issued += 1
+        if req.on_complete is not None:
+            req.on_complete(burst_end)
+
+    def _record_kind(self, op: Op, kind: AccessKind) -> None:
+        if kind is AccessKind.ROW_HIT:
+            if op is Op.WRITE:
+                self.stats.write_row_hits += 1
+            else:
+                self.stats.read_row_hits += 1
+        elif kind is AccessKind.ROW_CONFLICT:
+            if op is Op.WRITE:
+                self.stats.write_row_conflicts += 1
+            else:
+                self.stats.read_row_conflicts += 1
+
+    def _maybe_close_row(self, bank: Bank, coord, now: int) -> None:
+        """Adaptive open-page: close the row if no queued request needs it."""
+        bank_id = coord.subchannel_bank_id
+        for req in self.rq.entries:
+            c = req.coord
+            if c.subchannel_bank_id == bank_id and c.row == coord.row:
+                return
+        for req in self.wq.entries:
+            c = req.coord
+            if c.subchannel_bank_id == bank_id and c.row == coord.row:
+                return
+        bank.close_row(now)
+
+    def _maybe_refresh(self, now: int) -> None:
+        """All-bank refresh: stall the sub-channel for tRFC every tREFI.
+
+        Modelled as a bus reservation plus closing every row (refresh
+        precharges all banks).  Disabled by default to match the paper.
+        """
+        if not self.refresh_enabled:
+            return
+        while now >= self._next_refresh:
+            start = max(self._next_refresh, self.bus_free_cycle)
+            end = start + self.trfc
+            self.bus_free_cycle = max(self.bus_free_cycle, end)
+            for bank in self.banks:
+                bank.close_row(start)
+                bank.pre_done_cycle = max(bank.pre_done_cycle, end)
+            self._next_refresh += self.trefi
+            self.refreshes_performed += 1
+
+    # ------------------------------------------------------------------
+    # End-of-simulation helpers
+    # ------------------------------------------------------------------
+
+    def set_drain_all(self, enabled: bool) -> None:
+        """Force continuous write draining (end-of-run flush)."""
+        self._drain_all = enabled
+
+    def finalize(self, now: int) -> None:
+        """Close out an in-progress drain episode for the statistics."""
+        if self._in_drain:
+            self._end_episode()
+        # Roll per-bank command counters up into the sub-channel stats.
+        acts = sum(b.stats.activates for b in self.banks)
+        pres = sum(b.stats.precharges for b in self.banks)
+        self.stats.activates = acts
+        self.stats.precharges = pres

@@ -1,0 +1,111 @@
+"""DDR5 timing parameters (paper Table I, DDR5-4800B x4 devices).
+
+All values are expressed in DRAM command-clock cycles.  DDR5-4800 transfers
+data at 4800 MT/s on a double-data-rate bus, so the command clock runs at
+2.4 GHz and one DRAM cycle is 1/2.4 ns.
+
+The paper's write-latency analysis (Figs. 4-5) reasons about the *delay
+between consecutive data bursts*:
+
+* writes to banks in **different bankgroups** can follow each other every
+  ``tCCD_S_WR`` = 8 cycles (the bus-occupancy minimum, 3.3 ns, "1x"),
+* writes to banks in the **same bankgroup** (including row-buffer hits to the
+  same bank) must be spaced ``tCCD_L_WR`` = 48 cycles apart (20 ns, "6x"),
+* a **row-buffer conflict in the same bank** costs
+  ``tRCD + tCWL + tWR + tRP`` = 188 cycles (Fig. 5, "24x" / 23.5x).
+
+With x8 devices each chip receives a full 128-bit on-die-ECC codeword per
+write, so the internal read-modify-write disappears and ``tCCD_L_WR`` drops
+to 10 ns = 24 cycles (still 3x the minimum), per paper section VII-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: DRAM command-clock frequency for DDR5-4800 (cycles per second).
+DRAM_CLOCK_HZ = 2_400_000_000
+
+#: Nanoseconds per DRAM command-clock cycle.
+DRAM_CYCLE_NS = 1e9 / DRAM_CLOCK_HZ
+
+
+@dataclass(frozen=True)
+class DDR5Timing:
+    """Timing constraints for a DDR5 device, in DRAM command-clock cycles.
+
+    The defaults reproduce paper Table I exactly.  Use :func:`ddr5_4800_x4`
+    or :func:`ddr5_4800_x8` rather than instantiating directly.
+    """
+
+    #: Read (CAS) latency: READ command to first data beat.
+    cl: int = 40
+    #: Write (CAS write) latency: WRITE command to first data beat.
+    cwl: int = 38
+    #: ACT to internal READ/WRITE delay.
+    trcd: int = 39
+    #: PRE to ACT delay.
+    trp: int = 39
+    #: ACT to PRE minimum row-open time.
+    tras: int = 77
+    #: End of write burst to PRE (write recovery).
+    twr: int = 72
+    #: Data-bus occupancy of one 64-byte transfer (BL16 on a 32-bit
+    #: sub-channel = 8 command-clock cycles).
+    burst: int = 8
+    #: Write-to-write delay, different bankgroups ("S" = short).
+    tccd_s_wr: int = 8
+    #: Write-to-write delay, same bankgroup ("L" = long).  48 for x4 devices
+    #: (on-die-ECC read-modify-write), 24 for x8.
+    tccd_l_wr: int = 48
+    #: Read-to-read delay, different bankgroups.
+    tccd_s_rd: int = 8
+    #: Read-to-read delay, same bankgroup.
+    tccd_l_rd: int = 16
+    #: Bus-turnaround penalty applied when the data bus switches direction
+    #: (read<->write).  The paper quotes 22 ns; 53 cycles at 2.4 GHz.
+    turnaround: int = 53
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cl", "cwl", "trcd", "trp", "tras", "twr", "burst",
+            "tccd_s_wr", "tccd_l_wr", "tccd_s_rd", "tccd_l_rd", "turnaround",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"timing parameter {name!r} must be positive")
+        if self.tccd_l_wr < self.tccd_s_wr:
+            raise ValueError("tCCD_L_WR must be >= tCCD_S_WR")
+        if self.tccd_l_rd < self.tccd_s_rd:
+            raise ValueError("tCCD_L_RD must be >= tCCD_S_RD")
+
+    @property
+    def write_conflict_delay(self) -> int:
+        """Burst-to-burst delay for a same-bank row-conflict write.
+
+        Paper Fig. 5: ``tRCD + tCWL + tWR + tRP`` = 188 cycles for the
+        default x4 part (23.5x the 8-cycle minimum).
+        """
+        return self.trcd + self.cwl + self.twr + self.trp
+
+    @property
+    def read_conflict_delay(self) -> int:
+        """Burst-to-burst delay for a same-bank row-conflict read."""
+        return self.trcd + self.cl + self.trp
+
+    def ns(self, cycles: int | float) -> float:
+        """Convert DRAM cycles to nanoseconds."""
+        return cycles * DRAM_CYCLE_NS
+
+
+def ddr5_4800_x4() -> DDR5Timing:
+    """Timing for the paper's baseline DDR5-4800B x4 server device."""
+    return DDR5Timing()
+
+
+def ddr5_4800_x8() -> DDR5Timing:
+    """Timing for an x8 device (paper section VII-D).
+
+    Each chip receives the full 128-bit on-die-ECC codeword, so the internal
+    read-modify-write disappears and ``tCCD_L_WR`` is 10 ns = 24 cycles.
+    """
+    return replace(DDR5Timing(), tccd_l_wr=24)

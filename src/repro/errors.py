@@ -1,0 +1,25 @@
+"""Exception types shared across the ``repro`` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class MappingError(ReproError):
+    """An address could not be translated by the DRAM address mapping."""
+
+
+class SchedulingError(ReproError):
+    """The memory scheduler reached an inconsistent internal state."""
+
+
+class TraceError(ReproError):
+    """A workload trace was malformed or exhausted unexpectedly."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""

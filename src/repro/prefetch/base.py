@@ -1,0 +1,47 @@
+"""Prefetcher interface.
+
+A prefetcher observes demand accesses to its cache and returns a (possibly
+empty) list of byte addresses to prefetch into the same cache.  The cache
+filters already-resident and already-outstanding lines before issuing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class PrefetcherStats:
+    observed: int = 0
+    issued: int = 0
+
+
+class Prefetcher(abc.ABC):
+    """Base class for cache prefetchers."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = PrefetcherStats()
+
+    @abc.abstractmethod
+    def predict(self, addr: int, pc: int, hit: bool) -> List[int]:
+        """Prefetch candidates for one demand access."""
+
+    def on_access(self, addr: int, pc: int, hit: bool) -> List[int]:
+        """Hook invoked by the cache; wraps :meth:`predict` with stats."""
+        self.stats.observed += 1
+        targets = self.predict(addr, pc, hit)
+        self.stats.issued += len(targets)
+        return targets
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching."""
+
+    name = "none"
+
+    def predict(self, addr: int, pc: int, hit: bool) -> List[int]:
+        return []

@@ -1,0 +1,84 @@
+"""Discrete-event simulation engine.
+
+A single binary-heap event queue keyed by ``(tick, sequence)`` so that
+simultaneous events fire in schedule order (deterministic runs).  Components
+self-schedule: cores tick themselves while they can make progress and go
+dormant when stalled (woken by memory-completion callbacks), and DRAM
+channels tick only while their queues are non-empty.  Simulated time is
+therefore proportional to *activity*, not wall-clock cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+from repro.errors import SimulationError
+
+Event = Tuple[int, int, Callable[[], None]]
+
+
+class Engine:
+    """Minimal deterministic discrete-event engine (integer ticks)."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+
+    def schedule(self, tick: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at ``tick`` (clamped to the present)."""
+        if tick < self.now:
+            tick = self.now
+        heapq.heappush(self._heap, (tick, next(self._seq), fn))
+
+    def schedule_in(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` after ``delay`` ticks."""
+        self.schedule(self.now + delay, fn)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        tick, _, fn = heapq.heappop(self._heap)
+        if tick < self.now:
+            raise SimulationError("event queue went backwards in time")
+        self.now = tick
+        self._events_fired += 1
+        fn()
+        return True
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        max_events: int = 500_000_000,
+    ) -> None:
+        """Run events until ``until()`` is true or the queue drains."""
+        fired = 0
+        while self._heap:
+            if until is not None and until():
+                return
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely an event storm"
+                )
+
+    def run_for(self, ticks: int) -> None:
+        """Run until simulated time advances by ``ticks``."""
+        deadline = self.now + ticks
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if self.now < deadline:
+            self.now = deadline

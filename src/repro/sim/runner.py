@@ -1,0 +1,71 @@
+"""High-level run orchestration: single runs, comparisons, and sweeps.
+
+``run_workload`` simulates one named workload (ratemode or mix) under one
+configuration.  ``compare_policies`` runs the same workload under several
+LLC writeback policies and reports speedups versus the first (baseline)
+entry - the building block for paper Figs. 10, 11, 15 and 17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.metrics import gmean
+from repro.config.system import SystemConfig
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.workloads.suites import trace_factory
+
+
+def run_workload(
+    config: SystemConfig,
+    workload: str,
+    label: Optional[str] = None,
+    seed: int = 7,
+) -> RunResult:
+    """Simulate ``workload`` (a suite name from :mod:`repro.workloads`)."""
+    factory = trace_factory(workload, config, seed=seed)
+    system = System(config, factory)
+    return system.run(label=label or f"{workload}")
+
+
+@dataclass
+class PolicyComparison:
+    """Results of one workload under several policies."""
+
+    workload: str
+    results: Dict[str, RunResult]
+    baseline: str
+
+    def speedup_pct(self, policy: str) -> float:
+        return self.results[policy].speedup_pct(self.results[self.baseline])
+
+
+def compare_policies(
+    config: SystemConfig,
+    workload: str,
+    policies: Sequence[Optional[str]],
+    seed: int = 7,
+) -> PolicyComparison:
+    """Run ``workload`` under each policy; first entry is the baseline."""
+    results: Dict[str, RunResult] = {}
+    names: List[str] = []
+    for policy in policies:
+        name = policy or "baseline"
+        cfg = config.with_writeback(policy)
+        results[name] = run_workload(cfg, workload, label=name, seed=seed)
+        names.append(name)
+    return PolicyComparison(workload=workload, results=results,
+                            baseline=names[0])
+
+
+def gmean_speedups(
+    comparisons: Iterable[PolicyComparison], policy: str
+) -> float:
+    """Geometric-mean speedup (%) of ``policy`` across workloads."""
+    ratios = []
+    for comp in comparisons:
+        base = comp.results[comp.baseline]
+        ratios.append(comp.results[policy].weighted_speedup(base))
+    return 100.0 * (gmean(ratios) - 1.0)

@@ -1,0 +1,192 @@
+"""System builder: wires cores, caches, BARD, and DRAM from a config."""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, List, Optional
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.replacement import make_replacement
+from repro.cache.writeback import make_writeback_policy
+from repro.cache.writeback.base import WritebackPolicyStats
+from repro.config.system import SystemConfig
+from repro.core.bard import BardPolicy
+from repro.core.blp_tracker import BLPTracker
+from repro.cpu.core import Core
+from repro.cpu.tlb import TLBHierarchy
+from repro.cpu.trace import TraceRecord
+from repro.dram.channel import Channel, ChannelStats
+from repro.dram.mapping import ZenMapping
+from repro.dram.stats import SubChannelStats
+from repro.dram.timing import ddr5_4800_x4, ddr5_4800_x8
+from repro.prefetch import make_prefetcher
+from repro.sim.engine import Engine
+from repro.sim.memctrl import MemoryController
+from repro.sim.results import RunResult
+
+TraceFactory = Callable[[int], Iterator[TraceRecord]]
+
+
+class System:
+    """A complete simulated machine built from a :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig, traces: TraceFactory) -> None:
+        self.config = config
+        self.engine = Engine()
+
+        timing = ddr5_4800_x8() if config.dram.device == "x8" else (
+            ddr5_4800_x4()
+        )
+        self.mapping = ZenMapping(channels=config.dram.channels,
+                                  pbpl=config.dram.pbpl)
+        self.channels: List[Channel] = []
+        for _ in range(config.dram.channels):
+            channel = Channel(
+                timing,
+                rq_capacity=config.dram.rq_capacity,
+                wq_capacity=config.dram.wq_capacity,
+                wq_high=config.dram.wq_high,
+                wq_low=config.dram.wq_low,
+                ideal_writes=config.dram.ideal_writes,
+                drain_policy=config.dram.drain_policy,
+                refresh=config.dram.refresh,
+            )
+            channel.attach(self.engine)
+            self.channels.append(channel)
+        self.memctrl = MemoryController(self.mapping, self.channels)
+
+        self.tracker = BLPTracker(channels=config.dram.channels)
+        self.llc_policy = make_writeback_policy(
+            config.llc_writeback,
+            self.mapping,
+            tracker=self.tracker,
+            memctrl=self.memctrl,
+        )
+        self.llc = Cache(
+            "LLC",
+            config.llc.size_bytes,
+            config.llc.ways,
+            config.llc.hit_latency,
+            config.llc.mshrs,
+            make_replacement(
+                config.llc.replacement,
+                config.llc.size_bytes // (config.llc.ways * 64),
+                config.llc.ways,
+            ),
+            self.engine,
+            self.memctrl,
+            writeback_policy=self.llc_policy,
+        )
+
+        self.cores: List[Core] = []
+        self.l2s: List[Cache] = []
+        self.l1ds: List[Cache] = []
+        self.l1is: List[Cache] = []
+        self._finished_count = 0
+        for core_id in range(config.cores):
+            l2 = self._make_cache(f"L2-{core_id}", config.l2, self.llc)
+            l1d = self._make_cache(f"L1D-{core_id}", config.l1d, l2)
+            l1i = self._make_cache(f"L1I-{core_id}", config.l1i, l2)
+            dtlb = TLBHierarchy(name=f"dtlb-{core_id}")
+            itlb = TLBHierarchy(name=f"itlb-{core_id}")
+            core = Core(
+                core_id,
+                traces(core_id),
+                self.engine,
+                l1d,
+                l1i,
+                dtlb,
+                itlb,
+                rob_size=config.rob_size,
+                issue_width=config.issue_width,
+                retire_width=config.retire_width,
+                budget=config.warmup_instructions,
+                on_finish=self._core_finished,
+            )
+            self.cores.append(core)
+            self.l2s.append(l2)
+            self.l1ds.append(l1d)
+            self.l1is.append(l1i)
+
+    def _make_cache(self, name: str, cfg, lower) -> Cache:
+        return Cache(
+            name,
+            cfg.size_bytes,
+            cfg.ways,
+            cfg.hit_latency,
+            cfg.mshrs,
+            make_replacement(cfg.replacement,
+                             cfg.size_bytes // (cfg.ways * 64), cfg.ways),
+            self.engine,
+            lower,
+            prefetcher=make_prefetcher(cfg.prefetcher),
+        )
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+
+    def _core_finished(self, core: Core) -> None:
+        self._finished_count += 1
+
+    def _all_finished(self) -> bool:
+        return self._finished_count >= len(self.cores)
+
+    def _run_phase(self) -> None:
+        self._finished_count = sum(1 for c in self.cores if c.finished)
+        self.engine.run(until=self._all_finished)
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement epoch (end of warmup)."""
+        for cache in [self.llc, *self.l2s, *self.l1ds, *self.l1is]:
+            cache.stats = CacheStats()
+        for channel in self.channels:
+            channel.stats = ChannelStats()
+            for sc in channel.subchannels:
+                sc.stats = SubChannelStats()
+        if self.llc_policy is not None:
+            self.llc_policy.stats = WritebackPolicyStats()
+            if isinstance(self.llc_policy, BardPolicy):
+                self.llc_policy.accuracy = type(self.llc_policy.accuracy)()
+
+    def run(self, label: Optional[str] = None) -> RunResult:
+        """Warmup, reset statistics, measure, and collect the result."""
+        config = self.config
+        for core in self.cores:
+            core.start()
+        if config.warmup_instructions > 0:
+            self._run_phase()
+            self.reset_stats()
+            start_tick = self.engine.now
+            for core in self.cores:
+                core.reset_measurement(config.sim_instructions)
+                core.start()
+        else:
+            start_tick = 0
+            for core in self.cores:
+                core.budget = config.sim_instructions
+        self._run_phase()
+        self.memctrl.finalize()
+
+        finish = max(c.stats.finish_tick for c in self.cores)
+        dram_total = SubChannelStats()
+        for channel in self.channels:
+            dram_total.merge_from(channel.aggregate_stats())
+        instructions = sum(c.stats.retired for c in self.cores)
+        return RunResult(
+            label=label or (config.llc_writeback or "baseline"),
+            cores=config.cores,
+            instructions=instructions,
+            elapsed_ticks=finish - start_tick,
+            ipc=[c.stats.ipc for c in self.cores],
+            llc=copy.copy(self.llc.stats),
+            dram=dram_total,
+            channels=[copy.copy(c.stats) for c in self.channels],
+            subchannel_count=2 * len(self.channels),
+            wb_stats=(copy.copy(self.llc_policy.stats)
+                      if self.llc_policy else None),
+            bard_accuracy=(copy.copy(self.llc_policy.accuracy)
+                           if isinstance(self.llc_policy, BardPolicy)
+                           else None),
+            llc_demand_accesses=self.llc.stats.demand_accesses,
+        )

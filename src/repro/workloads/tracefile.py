@@ -1,0 +1,86 @@
+"""Trace-file I/O: persist and replay instruction traces.
+
+The paper's artifact ships multi-gigabyte ChampSim traces; this module
+provides the equivalent plumbing for this reproduction's traces so
+experiments can be frozen and replayed exactly:
+
+* a compact text format, one record per line: ``<kind> <addr-hex> <pc-hex>``
+  with a one-line header, optionally gzip-compressed (``.gz`` suffix),
+* :func:`save_trace` to capture the first N records of any generator,
+* :func:`load_trace` returning a replaying (infinite) iterator, matching
+  the contract the cores expect.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterator, List, Union
+
+from repro.cpu.trace import TraceRecord, replay, validate_record
+from repro.errors import TraceError
+
+#: Magic header line identifying the format and version.
+HEADER = "#repro-trace v1"
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def save_trace(trace: Iterator[TraceRecord], path: Union[str, Path],
+               count: int) -> int:
+    """Write up to ``count`` records of ``trace`` to ``path``.
+
+    Returns the number of records written.  The file can be compressed by
+    using a ``.gz`` suffix.
+    """
+    path = Path(path)
+    written = 0
+    with _open(path, "w") as fh:
+        fh.write(HEADER + "\n")
+        for _ in range(count):
+            try:
+                rec = next(trace)
+            except StopIteration:
+                break
+            kind, addr, pc = validate_record(rec)
+            fh.write(f"{kind} {addr:x} {pc:x}\n")
+            written += 1
+    return written
+
+
+def read_records(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read all records from a trace file (validating each)."""
+    path = Path(path)
+    records: List[TraceRecord] = []
+    with _open(path, "r") as fh:
+        header = fh.readline().rstrip("\n")
+        if header != HEADER:
+            raise TraceError(
+                f"{path}: not a repro trace file (header {header!r})"
+            )
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise TraceError(f"{path}:{lineno}: malformed record")
+            try:
+                rec = (int(parts[0]), int(parts[1], 16), int(parts[2], 16))
+            except ValueError as exc:
+                raise TraceError(
+                    f"{path}:{lineno}: bad field ({exc})"
+                ) from None
+            records.append(validate_record(rec))
+    if not records:
+        raise TraceError(f"{path}: empty trace")
+    return records
+
+
+def load_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Load a trace file as an infinite replaying iterator."""
+    return replay(read_records(path))

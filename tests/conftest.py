@@ -1,0 +1,36 @@
+"""Shared fixtures: tiny configurations for fast integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.system import CacheConfig, DramConfig, SystemConfig
+
+
+def tiny_config(**overrides) -> SystemConfig:
+    """A minimal 2-core system that still exercises every component."""
+    defaults = dict(
+        cores=2,
+        rob_size=128,
+        issue_width=4,
+        retire_width=4,
+        l1i=CacheConfig(1024, 8, 1, 4),
+        l1d=CacheConfig(1536, 12, 4, 8, prefetcher="berti"),
+        l2=CacheConfig(8192, 8, 14, 16, prefetcher="spp"),
+        llc=CacheConfig(32768, 16, 36, 64),
+        dram=DramConfig(channels=1),
+        warmup_instructions=1_000,
+        sim_instructions=4_000,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+@pytest.fixture
+def tiny():
+    return tiny_config()
+
+
+@pytest.fixture
+def tiny_bard():
+    return tiny_config(llc_writeback="bard-h")

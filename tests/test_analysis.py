@@ -1,0 +1,64 @@
+"""Analysis helpers: metrics and table formatting."""
+
+import pytest
+
+from repro.analysis import (
+    amean,
+    format_series,
+    format_table,
+    gmean,
+    normalize,
+    pct_change,
+)
+
+
+class TestGmean:
+    def test_identity(self):
+        assert gmean([2, 2, 2]) == pytest.approx(2)
+
+    def test_classic(self):
+        assert gmean([1, 4]) == pytest.approx(2)
+
+    def test_empty(self):
+        assert gmean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+    def test_below_arithmetic_mean(self):
+        vals = [1.0, 2.0, 9.0]
+        assert gmean(vals) < amean(vals)
+
+
+class TestSimpleMetrics:
+    def test_amean(self):
+        assert amean([1, 2, 3]) == 2
+        assert amean([]) == 0.0
+
+    def test_pct_change(self):
+        assert pct_change(110, 100) == pytest.approx(10)
+        assert pct_change(90, 100) == pytest.approx(-10)
+        assert pct_change(5, 0) == 0.0
+
+    def test_normalize(self):
+        assert normalize([2, 4], 2) == [1, 2]
+        with pytest.raises(ValueError):
+            normalize([1], 0)
+
+
+class TestFormatting:
+    def test_table_contains_cells(self):
+        out = format_table(["name", "v"], [["lbm", 4.25], ["cf", 1.0]],
+                          title="Fig X")
+        assert "Fig X" in out
+        assert "lbm" in out and "4.25" in out
+
+    def test_table_alignment(self):
+        out = format_table(["a"], [["xxxxxxxx"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) >= len("xxxxxxxx")
+
+    def test_series(self):
+        out = format_series("speedup", ["lbm", "cf"], [4.3, 2.0])
+        assert out == "speedup: lbm=4.30 cf=2.00"

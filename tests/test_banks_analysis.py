@@ -1,0 +1,63 @@
+"""Per-bank traffic distribution analysis."""
+
+import pytest
+
+from repro.analysis.banks import (
+    distribution,
+    read_distribution,
+    write_distribution,
+)
+from repro.sim.system import System
+from repro.workloads import trace_factory
+
+from .conftest import tiny_config
+
+
+class TestDistribution:
+    def test_even_counts(self):
+        d = distribution([5] * 32)
+        assert d.banks_used == 32
+        assert d.imbalance == pytest.approx(0.0, abs=1e-9)
+        assert d.max_share == pytest.approx(1 / 32)
+
+    def test_fully_concentrated(self):
+        d = distribution([100] + [0] * 31)
+        assert d.banks_used == 1
+        assert d.max_share == 1.0
+        assert d.imbalance > 0.9
+
+    def test_empty(self):
+        d = distribution([0] * 32)
+        assert d.total == 0
+        assert d.imbalance == 0.0
+        assert d.mean == 0.0
+
+    def test_gini_monotone_in_concentration(self):
+        even = distribution([4, 4, 4, 4])
+        skew = distribution([13, 1, 1, 1])
+        assert skew.imbalance > even.imbalance
+
+
+class TestSystemDistributions:
+    @pytest.fixture(scope="class")
+    def ran_system(self):
+        cfg = tiny_config(warmup_instructions=2_000,
+                          sim_instructions=10_000)
+        system = System(cfg, trace_factory("lbm", cfg))
+        system.run()
+        return system
+
+    def test_one_distribution_per_subchannel(self, ran_system):
+        dists = write_distribution(ran_system)
+        assert len(dists) == 2  # one channel, two sub-channels
+
+    def test_writes_spread_over_banks(self, ran_system):
+        for d in write_distribution(ran_system):
+            if d.total:
+                assert d.banks_used > 8
+
+    def test_reads_counted_separately(self, ran_system):
+        reads = read_distribution(ran_system)
+        writes = write_distribution(ran_system)
+        assert sum(d.total for d in reads) > 0
+        assert sum(d.total for d in reads) != sum(d.total for d in writes)

@@ -1,0 +1,215 @@
+"""BARD-E / BARD-C / BARD-H decision logic (paper sections IV-V)."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import LRUPolicy
+from repro.core.bard import BardPolicy, make_bard
+from repro.core.blp_tracker import BLPTracker
+from repro.dram.mapping import ZenMapping
+from repro.sim.engine import Engine
+
+MAPPING = ZenMapping(pbpl=True)
+
+
+def row_addr(row: int) -> int:
+    """Addresses in cache set 0 whose DRAM bank varies with the row
+    (PBPL swizzling guarantees distinct banks for rows 0..31)."""
+    return row << 19
+
+
+def bank_of(addr: int) -> int:
+    return MAPPING.map(addr).bank_id
+
+
+class FakeLower:
+    def __init__(self, engine):
+        self.engine = engine
+        self.reads = []
+        self.writebacks = []
+
+    def read(self, line_addr, now, on_done, core_id, is_prefetch, pc=0):
+        self.reads.append(line_addr)
+        self.engine.schedule(now + 10, lambda: on_done(now + 10))
+
+    def writeback(self, line_addr, now):
+        self.writebacks.append(line_addr)
+
+
+def make_env(variant="bard-h", ways=4, tracker=None, memctrl=None):
+    engine = Engine()
+    lower = FakeLower(engine)
+    policy = make_bard(variant, MAPPING, tracker=tracker, memctrl=memctrl)
+    cache = Cache("llc", 4 * ways * 64, ways, 1, 8, LRUPolicy(4, ways),
+                  engine, lower, writeback_policy=policy)
+    return engine, lower, cache, policy
+
+
+class TestBardE:
+    def test_overrides_pending_bank_victim(self):
+        engine, lower, cache, policy = make_env("bard-e")
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)  # dirty installs, LRU = row 0
+        policy.tracker.mark_writeback(0, bank_of(row_addr(0)))
+        cache.writeback(row_addr(4), 0)  # forces an eviction
+        # Row 0 is skipped (pending bank); row 1 is the next dirty line
+        # whose bank has no pending write.
+        assert cache.find_line(row_addr(0)) is not None
+        assert cache.find_line(row_addr(1)) is None
+        assert row_addr(1) in lower.writebacks
+        assert policy.stats.overrides == 1
+
+    def test_no_override_when_victim_bank_free(self):
+        engine, lower, cache, policy = make_env("bard-e")
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+        cache.writeback(row_addr(4), 0)
+        assert cache.find_line(row_addr(0)) is None  # default LRU evicted
+        assert policy.stats.overrides == 0
+
+    def test_falls_back_when_all_banks_pending(self):
+        engine, lower, cache, policy = make_env("bard-e")
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+            policy.tracker.mark_writeback(0, bank_of(row_addr(row)))
+        cache.writeback(row_addr(4), 0)
+        assert cache.find_line(row_addr(0)) is None  # LRU fallback
+        assert policy.stats.overrides == 0
+
+    def test_ignores_clean_victims(self):
+        engine, lower, cache, policy = make_env("bard-e")
+        cache.access(row_addr(0), False, 1, 0, None)  # clean LRU
+        engine.run()
+        for row in range(1, 4):
+            cache.writeback(row_addr(row), engine.now)
+        cache.writeback(row_addr(4), engine.now)
+        # BARD-E does nothing for clean victims: silent eviction of row 0.
+        assert cache.find_line(row_addr(0)) is None
+        assert policy.stats.overrides == 0
+        assert policy.stats.cleanses == 0
+
+
+class TestBardC:
+    def _setup_clean_lru(self):
+        engine, lower, cache, policy = make_env("bard-c")
+        cache.access(row_addr(0), False, 1, 0, None)  # clean, will be LRU
+        engine.run()
+        for row in range(1, 4):
+            cache.writeback(row_addr(row), engine.now)
+        return engine, lower, cache, policy
+
+    def test_cleanses_low_cost_dirty_line(self):
+        engine, lower, cache, policy = self._setup_clean_lru()
+        policy.tracker.mark_writeback(0, bank_of(row_addr(1)))
+        cache.writeback(row_addr(4), engine.now)
+        # Row 1 skipped (pending bank); row 2 cleansed, stays resident.
+        assert row_addr(2) in lower.writebacks
+        s, w = cache.find_line(row_addr(2))
+        line = cache.sets[s].lines[w]
+        assert line.valid and not line.dirty
+        assert policy.stats.cleanses == 1
+
+    def test_victim_choice_unchanged(self):
+        engine, lower, cache, policy = self._setup_clean_lru()
+        cache.writeback(row_addr(4), engine.now)
+        assert cache.find_line(row_addr(0)) is None  # clean LRU evicted
+
+    def test_does_nothing_for_dirty_victims(self):
+        engine, lower, cache, policy = make_env("bard-c")
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+        policy.tracker.mark_writeback(0, bank_of(row_addr(0)))
+        before = len(lower.writebacks)
+        cache.writeback(row_addr(4), 0)
+        # Eviction of row 0 proceeds (1 writeback), no cleansing on top.
+        assert cache.find_line(row_addr(0)) is None
+        assert policy.stats.cleanses == 0
+        assert len(lower.writebacks) == before + 1
+
+
+class TestBardH:
+    def test_uses_eviction_for_dirty_victim(self):
+        engine, lower, cache, policy = make_env("bard-h")
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+        policy.tracker.mark_writeback(0, bank_of(row_addr(0)))
+        cache.writeback(row_addr(4), 0)
+        assert policy.stats.overrides == 1
+        assert policy.stats.cleanses == 0
+
+    def test_uses_cleansing_for_clean_victim(self):
+        engine, lower, cache, policy = make_env("bard-h")
+        cache.access(row_addr(0), False, 1, 0, None)
+        engine.run()
+        for row in range(1, 4):
+            cache.writeback(row_addr(row), engine.now)
+        cache.writeback(row_addr(4), engine.now)
+        assert policy.stats.cleanses == 1
+        assert policy.stats.overrides == 0
+
+
+class TestTrackerIntegration:
+    def test_every_writeback_marks_tracker(self):
+        engine, lower, cache, policy = make_env("bard-h")
+        cache.writeback(row_addr(0), 0)
+        s, w = cache.find_line(row_addr(0))
+        cache.cleanse(s, w, 0)
+        assert policy.tracker.is_pending(0, bank_of(row_addr(0)))
+        assert policy.tracker.stats.broadcasts == 1
+
+    def test_shared_tracker_instance(self):
+        tracker = BLPTracker()
+        _, _, _, policy = make_env("bard-h", tracker=tracker)
+        assert policy.tracker is tracker
+
+
+class TestAccuracyProbe:
+    class FakeMC:
+        def __init__(self, pending):
+            self.pending = pending
+
+        def pending_writes_for_line(self, line_addr):
+            return self.pending
+
+    def test_counts_incorrect_decisions(self):
+        mc = self.FakeMC(pending=1)
+        engine, lower, cache, policy = make_env("bard-h", memctrl=mc)
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+        policy.tracker.mark_writeback(0, bank_of(row_addr(0)))
+        cache.writeback(row_addr(4), 0)
+        assert policy.accuracy.checked == 1
+        assert policy.accuracy.incorrect == 1
+        assert policy.accuracy.error_rate == 1.0
+
+    def test_correct_decisions(self):
+        mc = self.FakeMC(pending=0)
+        engine, lower, cache, policy = make_env("bard-h", memctrl=mc)
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+        policy.tracker.mark_writeback(0, bank_of(row_addr(0)))
+        cache.writeback(row_addr(4), 0)
+        assert policy.accuracy.checked == 1
+        assert policy.accuracy.incorrect == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("variant,e,c", [
+        ("bard-e", True, False),
+        ("bard-c", False, True),
+        ("bard-h", True, True),
+        ("bard", True, True),
+    ])
+    def test_variants(self, variant, e, c):
+        p = make_bard(variant, MAPPING)
+        assert p.use_eviction is e
+        assert p.use_cleansing is c
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            make_bard("bard-x", MAPPING)
+
+    def test_names(self):
+        assert make_bard("bard-h", MAPPING).name == "bard-h"
+        assert make_bard("bard-e", MAPPING).name == "bard-e"
+        assert make_bard("bard-c", MAPPING).name == "bard-c"

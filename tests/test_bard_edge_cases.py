@@ -1,0 +1,111 @@
+"""BARD edge cases beyond the main decision paths."""
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import SRRIPPolicy, make_replacement
+from repro.core.bard import make_bard
+from repro.dram.mapping import ZenMapping
+from repro.sim.engine import Engine
+
+MAPPING = ZenMapping(pbpl=True)
+
+
+class FakeLower:
+    def __init__(self, engine):
+        self.engine = engine
+        self.writebacks = []
+
+    def read(self, line_addr, now, on_done, core_id, is_prefetch, pc=0):
+        self.engine.schedule(now + 10, lambda: on_done(now + 10))
+
+    def writeback(self, line_addr, now):
+        self.writebacks.append(line_addr)
+
+
+def row_addr(row):
+    return row << 19
+
+
+def make_env(variant="bard-h", repl="lru", ways=4):
+    engine = Engine()
+    lower = FakeLower(engine)
+    policy = make_bard(variant, MAPPING)
+    cache = Cache("llc", 4 * ways * 64, ways, 1, 8,
+                  make_replacement(repl, 4, ways), engine, lower,
+                  writeback_policy=policy)
+    return engine, lower, cache, policy
+
+
+class TestNoDirtyCandidates:
+    def test_all_clean_set_no_cleanses(self):
+        engine, lower, cache, policy = make_env()
+        for row in range(5):
+            cache.access(row_addr(row), False, 1, engine.now, None)
+            engine.run()
+        assert policy.stats.cleanses == 0
+        assert lower.writebacks == []
+
+    def test_single_way_cache(self):
+        """Degenerate geometry: no alternative victims exist."""
+        engine = Engine()
+        lower = FakeLower(engine)
+        policy = make_bard("bard-h", MAPPING)
+        cache = Cache("llc", 4 * 64, 1, 1, 8, make_replacement("lru", 4, 1),
+                      engine, lower, writeback_policy=policy)
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+            policy.tracker.mark_writeback(
+                0, MAPPING.map(row_addr(row)).bank_id)
+        assert policy.stats.overrides == 0  # nothing else to pick
+
+
+class TestBardUnderRRIP:
+    def test_scan_order_follows_rrpv(self):
+        """Paper section VII-E: BARD scans greatest-to-least RRPV."""
+        engine, lower, cache, policy = make_env(repl="srrip")
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+        # Promote row 1 so its RRPV drops to 0.
+        cache.access(row_addr(1), False, 1, engine.now, None)
+        engine.run()
+        repl = cache.repl
+        assert isinstance(repl, SRRIPPolicy)
+        order = repl.eviction_order(0, cache.sets[0].lines)
+        way_of_row1 = cache.find_line(row_addr(1))[1]
+        assert order[-1] == way_of_row1  # least evictable last
+
+    def test_bard_h_works_with_srrip(self):
+        engine, lower, cache, policy = make_env(repl="srrip")
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+        victim_row = None
+        # Mark the default victim's bank pending.
+        default = cache.repl.victim(0, cache.sets[0].lines)
+        victim_addr = cache.sets[0].lines[default].line_addr
+        policy.tracker.mark_writeback(0, MAPPING.map(victim_addr).bank_id)
+        cache.writeback(row_addr(9), 0)
+        assert policy.stats.overrides == 1
+
+
+class TestCrossSetIndependence:
+    def test_decisions_local_to_set(self):
+        engine, lower, cache, policy = make_env()
+        # Dirty lines in set 0 must not be cleansed by misses in set 1.
+        cache.writeback(row_addr(0), 0)
+        other_set_addr = (1 << 6) | row_addr(1)
+        if cache.set_index(other_set_addr) == cache.set_index(row_addr(0)):
+            other_set_addr = (2 << 6) | row_addr(1)
+        cache.access(other_set_addr, False, 1, 0, None)
+        engine.run()
+        s, w = cache.find_line(row_addr(0))
+        assert cache.sets[s].lines[w].dirty  # untouched
+
+
+class TestEvictionStillMarksTracker:
+    def test_default_dirty_eviction_marks(self):
+        engine, lower, cache, policy = make_env()
+        for row in range(5):
+            cache.writeback(row_addr(row), 0)
+        # Row 0 was evicted dirty; its bank bit must be set.
+        assert lower.writebacks
+        bank = MAPPING.map(lower.writebacks[0]).bank_id
+        assert policy.tracker.is_pending(0, bank)

@@ -1,0 +1,107 @@
+"""BLP-Tracker: bit tracking and sub-channel self-reset (paper IV-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blp_tracker import (
+    BANKS_PER_CHANNEL,
+    BANKS_PER_SUBCHANNEL,
+    BLPTracker,
+)
+from repro.errors import ConfigError
+
+
+class TestBasics:
+    def test_starts_clear(self):
+        t = BLPTracker()
+        assert all(not t.is_pending(0, b) for b in range(BANKS_PER_CHANNEL))
+
+    def test_mark_sets_bit(self):
+        t = BLPTracker()
+        t.mark_writeback(0, 5)
+        assert t.is_pending(0, 5)
+        assert not t.is_pending(0, 6)
+
+    def test_storage_is_8_bytes(self):
+        """Paper headline: 8 B of SRAM per channel per LLC slice."""
+        assert BLPTracker().storage_bytes_per_channel == 8
+
+    def test_channels_independent(self):
+        t = BLPTracker(channels=2)
+        t.mark_writeback(1, 3)
+        assert t.is_pending(1, 3)
+        assert not t.is_pending(0, 3)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigError):
+            BLPTracker(channels=0)
+
+    def test_reset(self):
+        t = BLPTracker()
+        t.mark_writeback(0, 1)
+        t.reset()
+        assert not t.is_pending(0, 1)
+
+
+class TestSelfReset:
+    def test_full_subchannel_resets(self):
+        """Once all 32 bits of a sub-channel are set, they clear."""
+        t = BLPTracker()
+        for b in range(BANKS_PER_SUBCHANNEL):
+            t.mark_writeback(0, b)
+        assert t.popcount(0) == 0
+        assert t.stats.self_resets == 1
+
+    def test_31_bits_do_not_reset(self):
+        t = BLPTracker()
+        for b in range(BANKS_PER_SUBCHANNEL - 1):
+            t.mark_writeback(0, b)
+        assert t.popcount(0) == BANKS_PER_SUBCHANNEL - 1
+
+    def test_subchannels_reset_independently(self):
+        t = BLPTracker()
+        t.mark_writeback(0, 32)  # one bit on sub-channel 1
+        for b in range(BANKS_PER_SUBCHANNEL):
+            t.mark_writeback(0, b)  # fill sub-channel 0
+        assert t.popcount(0) == 1
+        assert t.is_pending(0, 32)
+
+    def test_repeat_marks_idempotent(self):
+        t = BLPTracker()
+        t.mark_writeback(0, 0)
+        t.mark_writeback(0, 0)
+        assert t.popcount(0) == 1
+        assert t.stats.broadcasts == 2
+        assert t.stats.bits_set == 1
+
+
+class TestInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0,
+                                max_value=BANKS_PER_CHANNEL - 1),
+                    max_size=300))
+    def test_popcount_never_full_subchannel(self, marks):
+        """Self-reset guarantees a sub-channel never *stays* saturated, so
+        BARD always has at least one low-cost bank available."""
+        t = BLPTracker()
+        for bank in marks:
+            t.mark_writeback(0, bank)
+            for sub in range(2):
+                lo = sub * BANKS_PER_SUBCHANNEL
+                sub_bits = sum(
+                    t.is_pending(0, b)
+                    for b in range(lo, lo + BANKS_PER_SUBCHANNEL)
+                )
+                assert sub_bits < BANKS_PER_SUBCHANNEL
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0,
+                                max_value=BANKS_PER_CHANNEL - 1),
+                    max_size=200))
+    def test_bits_set_matches_popcount_plus_resets(self, marks):
+        t = BLPTracker()
+        for bank in marks:
+            t.mark_writeback(0, bank)
+        total_cleared = t.stats.self_resets * BANKS_PER_SUBCHANNEL
+        assert t.stats.bits_set == t.popcount(0) + total_cleared

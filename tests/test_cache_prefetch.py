@@ -1,0 +1,95 @@
+"""Prefetcher integration with the cache: filtering and timeliness."""
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import LRUPolicy
+from repro.prefetch.berti import BertiPrefetcher
+from repro.sim.engine import Engine
+
+
+class CountingLower:
+    def __init__(self, engine, delay=3000):
+        self.engine = engine
+        self.delay = delay
+        self.reads = []
+
+    def read(self, line_addr, now, on_done, core_id, is_prefetch, pc=0):
+        self.reads.append((line_addr, is_prefetch))
+        self.engine.schedule(now + self.delay,
+                             lambda: on_done(now + self.delay))
+
+    def writeback(self, line_addr, now):
+        pass
+
+
+def make_cache(engine, lower, prefetcher=None, sets=64, ways=4):
+    return Cache("l1d", sets * ways * 64, ways, 2, 16,
+                 LRUPolicy(sets, ways), engine, lower,
+                 prefetcher=prefetcher)
+
+
+class TestPrefetchFiltering:
+    def test_resident_lines_not_prefetched(self):
+        engine = Engine()
+        lower = CountingLower(engine, delay=3)
+        cache = make_cache(engine, lower, BertiPrefetcher(degree=1))
+        # Touch the same two lines repeatedly with zero stride variance:
+        # nothing should be prefetched once resident.
+        for _ in range(10):
+            cache.access(0, False, 0x40, engine.now, None)
+            engine.run()
+        prefetch_reads = [r for r in lower.reads if r[1]]
+        assert prefetch_reads == []
+
+    def test_stride_stream_prefetches_ahead(self):
+        engine = Engine()
+        lower = CountingLower(engine, delay=3)
+        cache = make_cache(engine, lower, BertiPrefetcher(degree=2))
+        pc = 0x40
+        for i in range(12):
+            cache.access(i * 64, False, pc, engine.now, None)
+            engine.run()
+        prefetch_reads = [la for la, pf in lower.reads if pf]
+        assert prefetch_reads, "stride stream must trigger prefetches"
+        demand_lines = set(range(12))
+        assert any(la // 64 not in demand_lines or la // 64 > 6
+                   for la in prefetch_reads)
+
+    def test_prefetch_hit_hides_latency(self):
+        """A demand access to a prefetched line completes at hit latency
+        even though DRAM is slow."""
+        engine = Engine()
+        lower = CountingLower(engine, delay=9000)
+        cache = make_cache(engine, lower, BertiPrefetcher(degree=4))
+        pc = 0x40
+        # Train and stream far enough that prefetches land.
+        for i in range(6):
+            cache.access(i * 64, False, pc, engine.now, None)
+            engine.run()
+        # The prefetcher has requested beyond line 5; those fills landed
+        # (engine drained).  A demand access on line 6/7 should now hit.
+        hits_before = cache.stats.hits
+        cache.access(6 * 64, False, pc, engine.now, None)
+        engine.run()
+        assert cache.stats.hits == hits_before + 1
+
+    def test_prefetches_never_recurse(self):
+        """Prefetch-initiated accesses must not invoke the prefetcher."""
+
+        class RecursionGuard(BertiPrefetcher):
+            def __init__(self):
+                super().__init__(degree=1)
+                self.calls = []
+
+            def on_access(self, addr, pc, hit):
+                self.calls.append(addr)
+                return super().on_access(addr, pc, hit)
+
+        engine = Engine()
+        lower = CountingLower(engine, delay=3)
+        guard = RecursionGuard()
+        cache = make_cache(engine, lower, guard)
+        for i in range(8):
+            cache.access(i * 64, False, 0x40, engine.now, None)
+            engine.run()
+        # Every prefetcher invocation corresponds to a demand access.
+        assert len(guard.calls) == cache.stats.demand_accesses

@@ -1,0 +1,57 @@
+"""CLI: remaining commands and option plumbing."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestOptionPlumbing:
+    @pytest.fixture(autouse=True)
+    def _tiny_preset(self, monkeypatch):
+        from tests.conftest import tiny_config
+
+        import repro.cli as cli
+
+        monkeypatch.setitem(cli._PRESETS, "small-8core", tiny_config)
+
+    def test_replacement_option(self, capsys):
+        assert main(["run", "copy", "--replacement", "srrip"]) == 0
+
+    def test_device_option(self, capsys):
+        assert main(["run", "copy", "--device", "x8"]) == 0
+
+    def test_ideal_writes_flag(self, capsys):
+        assert main(["run", "copy", "--ideal-writes"]) == 0
+
+    def test_seed_option(self, capsys):
+        assert main(["run", "copy", "--seed", "3"]) == 0
+
+    def test_compare_adds_baseline_when_missing(self, capsys):
+        assert main(["compare", "copy", "--policies", "bard-h"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out
+
+    def test_compare_eager_and_vwq(self, capsys):
+        assert main(["compare", "copy", "--policies", "baseline",
+                     "eager", "vwq"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("weighted speedup") == 2
+
+
+class TestParserValidation:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "lbm", "--policy", "magic"])
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "lbm", "--preset", "huge"])
+
+    def test_bad_replacement_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "lbm", "--replacement", "belady"])
+
+    def test_characterize_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize"])

@@ -1,0 +1,40 @@
+"""Clock-domain conversion constants."""
+
+import pytest
+
+from repro.clock import (
+    NS_PER_TICK,
+    TICKS_PER_CPU_CYCLE,
+    TICKS_PER_DRAM_CYCLE,
+    TICKS_PER_SECOND,
+    cpu_cycles,
+    dram_cycles,
+    ticks_from_cpu,
+    ticks_from_dram,
+)
+
+
+class TestClockDomains:
+    def test_cpu_at_4ghz(self):
+        assert TICKS_PER_SECOND / TICKS_PER_CPU_CYCLE == 4e9
+
+    def test_dram_at_2_4ghz(self):
+        assert TICKS_PER_SECOND / TICKS_PER_DRAM_CYCLE == pytest.approx(
+            2.4e9)
+
+    def test_both_domains_exact(self):
+        """The tick base makes both clocks integral (no rounding drift)."""
+        assert TICKS_PER_SECOND % (4 * 10**9 // TICKS_PER_CPU_CYCLE) != 1
+        assert 4_000_000_000 * TICKS_PER_CPU_CYCLE == TICKS_PER_SECOND
+        assert 2_400_000_000 * TICKS_PER_DRAM_CYCLE == TICKS_PER_SECOND
+
+    def test_roundtrips(self):
+        assert cpu_cycles(ticks_from_cpu(123)) == 123
+        assert dram_cycles(ticks_from_dram(456)) == 456
+
+    def test_ns_per_tick(self):
+        assert NS_PER_TICK == pytest.approx(1 / 12)
+
+    def test_cross_domain_ratio(self):
+        """One DRAM cycle is exactly 5/3 CPU cycles."""
+        assert ticks_from_dram(3) == ticks_from_cpu(5)

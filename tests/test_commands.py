@@ -1,0 +1,50 @@
+"""MemRequest / DramCoord primitives."""
+
+from repro.dram.commands import LINE_BITS, LINE_SIZE, DramCoord, MemRequest, Op
+
+
+class TestConstants:
+    def test_line_size_is_64(self):
+        assert LINE_SIZE == 64
+        assert 1 << LINE_BITS == LINE_SIZE
+
+
+class TestDramCoord:
+    def test_bank_id_layout(self):
+        # bank_id = (subchannel * 8 + bankgroup) * 4 + bank
+        assert DramCoord(0, 0, 0, 0, 0, 0).bank_id == 0
+        assert DramCoord(0, 0, 0, 3, 0, 0).bank_id == 3
+        assert DramCoord(0, 0, 7, 3, 0, 0).bank_id == 31
+        assert DramCoord(0, 1, 0, 0, 0, 0).bank_id == 32
+        assert DramCoord(0, 1, 7, 3, 0, 0).bank_id == 63
+
+    def test_subchannel_bank_id_is_local(self):
+        c = DramCoord(0, 1, 2, 3, 0, 0)
+        assert c.subchannel_bank_id == 2 * 4 + 3
+        assert c.bank_id == 32 + c.subchannel_bank_id
+
+    def test_all_64_bank_ids_unique(self):
+        ids = {
+            DramCoord(0, sc, bg, ba, 0, 0).bank_id
+            for sc in range(2) for bg in range(8) for ba in range(4)
+        }
+        assert ids == set(range(64))
+
+
+class TestMemRequest:
+    def test_unique_ids(self):
+        coord = DramCoord(0, 0, 0, 0, 0, 0)
+        a = MemRequest(addr=0, op=Op.READ, coord=coord)
+        b = MemRequest(addr=0, op=Op.READ, coord=coord)
+        assert a.req_id != b.req_id
+
+    def test_defaults(self):
+        req = MemRequest(addr=64, op=Op.WRITE,
+                         coord=DramCoord(0, 0, 0, 0, 0, 0))
+        assert req.burst_tick is None
+        assert req.on_complete is None
+        assert not req.is_prefetch
+
+    def test_op_enum(self):
+        assert Op.READ is not Op.WRITE
+        assert Op("read") is Op.READ

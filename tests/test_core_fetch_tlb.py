@@ -1,0 +1,90 @@
+"""Core instruction-fetch modelling and TLB latency in the load path."""
+
+from repro.cpu.core import Core
+from repro.cpu.trace import LOAD, NONMEM
+from repro.sim.engine import Engine
+
+
+class RecordingMemory:
+    def __init__(self, engine, delay=6):
+        self.engine = engine
+        self.delay = delay
+        self.accesses = []
+
+    def access(self, addr, is_write, pc, now, on_done, core_id=0,
+               is_prefetch=False):
+        self.accesses.append((addr, now))
+        if on_done is not None:
+            self.engine.schedule(now + self.delay,
+                                 lambda: on_done(now + self.delay))
+
+
+class FixedTLB:
+    def __init__(self, latency=0):
+        self.latency = latency
+        self.lookups = 0
+
+    def translate(self, addr):
+        self.lookups += 1
+        return self.latency
+
+
+def _nonmem_trace(pcs):
+    def gen():
+        i = 0
+        while True:
+            yield (NONMEM, 0, pcs[i % len(pcs)])
+            i += 1
+    return gen()
+
+
+class TestInstructionFetch:
+    def _run(self, pcs, budget=64):
+        engine = Engine()
+        l1d = RecordingMemory(engine)
+        l1i = RecordingMemory(engine)
+        core = Core(0, _nonmem_trace(pcs), engine, l1d, l1i,
+                    FixedTLB(), FixedTLB(), rob_size=16, budget=budget)
+        core.start()
+        engine.run()
+        return l1i
+
+    def test_one_fetch_per_line(self):
+        # 16 instructions x 4 bytes share one 64-byte line.
+        l1i = self._run(pcs=list(range(0x1000, 0x1000 + 64, 4)))
+        fetch_lines = {a // 64 for a, _ in l1i.accesses}
+        assert fetch_lines == {0x1000 // 64}
+
+    def test_new_line_new_fetch(self):
+        pcs = [0x1000, 0x2000]  # alternating lines
+        l1i = self._run(pcs, budget=20)
+        assert len(l1i.accesses) >= 10  # every pc flips the fetch line
+
+
+class TestDTLBInLoadPath:
+    def _run_loads(self, tlb_latency):
+        engine = Engine()
+        l1d = RecordingMemory(engine, delay=6)
+        l1i = RecordingMemory(engine)
+        dtlb = FixedTLB(latency=tlb_latency)
+
+        def trace():
+            i = 0
+            while True:
+                yield (LOAD, 0x10000 + i * 64, 4)
+                i += 1
+
+        core = Core(0, trace(), engine, l1d, l1i, dtlb, FixedTLB(),
+                    rob_size=4, budget=8)
+        core.start()
+        engine.run()
+        return core, dtlb
+
+    def test_tlb_consulted_per_load(self):
+        core, dtlb = self._run_loads(0)
+        assert dtlb.lookups >= core.stats.loads
+
+    def test_tlb_latency_slows_core(self):
+        fast, _ = self._run_loads(0)
+        slow, _ = self._run_loads(50)
+        assert slow.stats.cycles > fast.stats.cycles

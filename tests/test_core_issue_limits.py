@@ -1,0 +1,97 @@
+"""Core issue-width and ROB-occupancy limits."""
+
+from repro.cpu.core import Core
+from repro.cpu.trace import LOAD, NONMEM
+from repro.sim.engine import Engine
+
+
+class NeverRespondingMemory:
+    """Memory that accepts loads but never completes them."""
+
+    def __init__(self):
+        self.outstanding = []
+
+    def access(self, addr, is_write, pc, now, on_done, core_id=0,
+               is_prefetch=False):
+        if on_done is not None:
+            self.outstanding.append((addr, on_done))
+
+
+class InstantMemory:
+    def __init__(self, engine):
+        self.engine = engine
+        self.per_cycle = {}
+
+    def access(self, addr, is_write, pc, now, on_done, core_id=0,
+               is_prefetch=False):
+        if addr >= 64:  # ignore instruction-fetch traffic (pc stream)
+            self.per_cycle.setdefault(now, 0)
+            self.per_cycle[now] += 1
+        if on_done is not None:
+            self.engine.schedule(now + 3, lambda: on_done(now + 3))
+
+
+class ZeroTLB:
+    def translate(self, addr):
+        return 0
+
+
+def _loads_forever():
+    i = 0
+    while True:
+        yield (LOAD, 64 * (i + 1), 4)
+        i += 1
+
+
+def _nonmem_forever():
+    while True:
+        yield (NONMEM, 0, 4)
+
+
+class TestROBBoundsMLP:
+    def test_outstanding_loads_capped_by_rob(self):
+        engine = Engine()
+        mem = NeverRespondingMemory()
+        core = Core(0, _loads_forever(), engine, mem, mem, ZeroTLB(),
+                    ZeroTLB(), rob_size=16, budget=1000)
+        core.start()
+        engine.run(max_events=100_000)
+        # The core must go dormant with exactly ROB-size loads in flight.
+        assert len(mem.outstanding) == 16
+        assert core._sleeping
+
+    def test_wakes_when_head_completes(self):
+        engine = Engine()
+        mem = NeverRespondingMemory()
+        core = Core(0, _loads_forever(), engine, mem, mem, ZeroTLB(),
+                    ZeroTLB(), rob_size=8, budget=1000)
+        core.start()
+        engine.run(max_events=100_000)
+        assert core._sleeping
+        # Complete the head load: the core must wake and issue more.
+        before = len(mem.outstanding)
+        addr, cb = mem.outstanding[0]
+        cb(engine.now)
+        engine.run(max_events=100_000)
+        assert len(mem.outstanding) > before
+
+
+class TestIssueWidth:
+    def test_at_most_width_issues_per_cycle(self):
+        engine = Engine()
+        mem = InstantMemory(engine)
+        core = Core(0, _loads_forever(), engine, mem, mem, ZeroTLB(),
+                    ZeroTLB(), rob_size=64, issue_width=4, budget=100)
+        core.start()
+        engine.run()
+        assert max(mem.per_cycle.values()) <= 4
+
+    def test_nonmem_ipc_bounded_by_width(self):
+        engine = Engine()
+        mem = InstantMemory(engine)
+        core = Core(0, _nonmem_forever(), engine, mem, mem, ZeroTLB(),
+                    ZeroTLB(), rob_size=64, issue_width=4,
+                    retire_width=4, budget=800)
+        core.start()
+        engine.run()
+        assert core.stats.ipc <= 4.0 + 1e-9

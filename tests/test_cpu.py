@@ -1,0 +1,226 @@
+"""CPU model: ROB, TLBs, trace protocol, and the core's issue/retire loop."""
+
+import pytest
+
+from repro.cpu.rob import ReorderBuffer, RobEntry
+from repro.cpu.tlb import TLB, TLBHierarchy
+from repro.cpu.trace import (
+    LOAD,
+    NONMEM,
+    STORE,
+    mem_fraction,
+    replay,
+    store_fraction,
+    take,
+    validate_record,
+)
+from repro.cpu.core import Core
+from repro.errors import TraceError
+from repro.sim.engine import Engine
+
+
+class TestROB:
+    def test_retire_in_order(self):
+        rob = ReorderBuffer(4)
+        rob.push(RobEntry(10))
+        rob.push(RobEntry(5))
+        assert rob.retire_ready(7, 4) == 0  # head not done yet
+        assert rob.retire_ready(10, 4) == 2
+
+    def test_retire_width_limit(self):
+        rob = ReorderBuffer(8)
+        for _ in range(6):
+            rob.push(RobEntry(1))
+        assert rob.retire_ready(5, 4) == 4
+        assert rob.retire_ready(5, 4) == 2
+
+    def test_outstanding_blocks(self):
+        rob = ReorderBuffer(4)
+        rob.push(RobEntry(None, is_load=True))
+        rob.push(RobEntry(1))
+        assert rob.retire_ready(100, 4) == 0
+
+    def test_full(self):
+        rob = ReorderBuffer(2)
+        rob.push(RobEntry(1))
+        assert not rob.full
+        rob.push(RobEntry(1))
+        assert rob.full
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(4, 2)
+        assert not tlb.lookup(0x1000)
+        assert tlb.lookup(0x1000)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.accesses == 2
+
+    def test_same_page_shares_entry(self):
+        tlb = TLB(4, 2)
+        tlb.lookup(0x1000)
+        assert tlb.lookup(0x1FFF)
+
+    def test_lru_eviction(self):
+        tlb = TLB(1, 2)
+        tlb.lookup(0 << 12)
+        tlb.lookup(1 << 12)
+        tlb.lookup(0 << 12)  # touch page 0
+        tlb.lookup(2 << 12)  # evicts page 1
+        assert tlb.lookup(0 << 12)
+        assert not tlb.lookup(1 << 12)
+
+    def test_hierarchy_latencies(self):
+        h = TLBHierarchy(l1_sets=1, l1_ways=1, l2_sets=4, l2_ways=2,
+                         l2_latency=8, walk_latency=80)
+        assert h.translate(0x1000) == 88   # cold: L2 miss + walk
+        assert h.translate(0x1000) == 0    # L1 hit
+        h.translate(0x2000)                # evicts 0x1000 from 1-entry L1
+        assert h.translate(0x1000) == 8    # L1 miss, L2 hit
+
+
+class TestTraceHelpers:
+    def test_validate_good_records(self):
+        validate_record((NONMEM, 0, 4))
+        validate_record((LOAD, 64, 8))
+        validate_record((STORE, 128, 12))
+
+    @pytest.mark.parametrize("rec", [
+        (9, 0, 0),
+        (LOAD, -1, 0),
+        (LOAD, 0, 0),       # memory op with null address
+        (NONMEM, 0, -4),
+    ])
+    def test_validate_rejects(self, rec):
+        with pytest.raises(TraceError):
+            validate_record(rec)
+
+    def test_take(self):
+        recs = take(iter([(NONMEM, 0, 0)] * 3), 5)
+        assert len(recs) == 3
+
+    def test_replay_loops(self):
+        r = replay([(LOAD, 64, 0), (STORE, 64, 4)])
+        assert take(r, 5)[4] == (LOAD, 64, 0)
+
+    def test_replay_empty_raises(self):
+        with pytest.raises(TraceError):
+            next(replay([]))
+
+    def test_fractions(self):
+        recs = [(NONMEM, 0, 0), (LOAD, 64, 0), (STORE, 64, 0),
+                (LOAD, 64, 0)]
+        assert mem_fraction(recs) == pytest.approx(0.75)
+        assert store_fraction(recs) == pytest.approx(1 / 3)
+
+
+class InstantMemory:
+    """L1-substitute that completes every access next cycle."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.accesses = []
+
+    def access(self, addr, is_write, pc, now, on_done, core_id=0,
+               is_prefetch=False):
+        self.accesses.append((addr, is_write))
+        if on_done is not None:
+            self.engine.schedule(now + 3, lambda: on_done(now + 3))
+
+
+class ZeroTLB:
+    def translate(self, addr):
+        return 0
+
+
+def _trace(n_mem=0):
+    def gen():
+        i = 0
+        while True:
+            if n_mem and i % n_mem == 0:
+                yield (LOAD, 64 + 64 * i, 4)
+            else:
+                yield (NONMEM, 0, 4)
+            i += 1
+    return gen()
+
+
+class TestCore:
+    def _make(self, trace, budget=100):
+        engine = Engine()
+        mem = InstantMemory(engine)
+        finished = []
+        core = Core(0, trace, engine, mem, mem, ZeroTLB(), ZeroTLB(),
+                    rob_size=16, issue_width=4, retire_width=4,
+                    budget=budget, on_finish=finished.append)
+        return engine, mem, core, finished
+
+    def test_retires_budget_and_finishes(self):
+        engine, mem, core, finished = self._make(_trace(), budget=100)
+        core.start()
+        engine.run()
+        assert finished and core.stats.retired >= 100
+
+    def test_ipc_close_to_width_for_nonmem(self):
+        engine, mem, core, finished = self._make(_trace(), budget=400)
+        core.start()
+        engine.run()
+        assert core.stats.ipc > 2.0  # 4-wide core, 1-cycle ops
+
+    def test_loads_counted_and_issued(self):
+        engine, mem, core, finished = self._make(_trace(n_mem=4),
+                                                 budget=100)
+        core.start()
+        engine.run()
+        assert core.stats.loads > 0
+        assert any(not w for _, w in mem.accesses)
+
+    def test_sleep_and_wake_on_slow_memory(self):
+        engine = Engine()
+
+        class SlowMemory(InstantMemory):
+            def access(self, addr, is_write, pc, now, on_done, core_id=0,
+                       is_prefetch=False):
+                self.accesses.append((addr, is_write))
+                if on_done is not None:
+                    self.engine.schedule(now + 3000,
+                                         lambda: on_done(now + 3000))
+
+        mem = SlowMemory(engine)
+        finished = []
+        core = Core(0, _trace(n_mem=2), engine, mem, mem, ZeroTLB(),
+                    ZeroTLB(), rob_size=8, budget=50,
+                    on_finish=finished.append)
+        core.start()
+        engine.run()
+        assert finished
+        assert core.stats.sleeps > 0
+
+    def test_stores_do_not_block_retirement(self):
+        def trace():
+            while True:
+                yield (STORE, 64, 4)
+
+        engine = Engine()
+        mem = InstantMemory(engine)
+
+        # Stores get no completion callback: if they blocked retirement the
+        # run would never finish.
+        finished = []
+        core = Core(0, trace(), engine, mem, mem, ZeroTLB(), ZeroTLB(),
+                    rob_size=8, budget=50, on_finish=finished.append)
+        core.start()
+        engine.run()
+        assert finished
+        assert all(w for _, w in mem.accesses if _ >= 64)
+
+    def test_reset_measurement(self):
+        engine, mem, core, finished = self._make(_trace(), budget=50)
+        core.start()
+        engine.run()
+        core.reset_measurement(budget=60)
+        assert core.stats.retired == 0
+        assert not core.finished
+        core.start()
+        engine.run()
+        assert core.stats.retired >= 60

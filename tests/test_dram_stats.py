@@ -1,0 +1,59 @@
+"""DRAM statistics containers and merging."""
+
+import pytest
+
+from repro.dram.stats import DrainEpisode, SubChannelStats
+from repro.dram.timing import DRAM_CYCLE_NS
+
+
+class TestW2W:
+    def test_record_and_mean(self):
+        s = SubChannelStats()
+        s.record_w2w(8)
+        s.record_w2w(48)
+        assert s.w2w_delay_count == 2
+        assert s.mean_w2w_ns == pytest.approx(28 * DRAM_CYCLE_NS)
+        assert s.max_w2w_ns == pytest.approx(48 * DRAM_CYCLE_NS)
+
+    def test_empty_mean_zero(self):
+        assert SubChannelStats().mean_w2w_ns == 0.0
+
+
+class TestEpisodes:
+    def test_mean_blp(self):
+        s = SubChannelStats()
+        s.episodes = [DrainEpisode(32, 20, 0, 300),
+                      DrainEpisode(32, 24, 400, 700)]
+        assert s.mean_blp == pytest.approx(22.0)
+
+    def test_duration(self):
+        assert DrainEpisode(32, 20, 100, 450).duration == 350
+
+    def test_empty_blp_zero(self):
+        assert SubChannelStats().mean_blp == 0.0
+
+
+class TestMerge:
+    def test_merge_accumulates(self):
+        a = SubChannelStats()
+        b = SubChannelStats()
+        a.reads_issued, b.reads_issued = 3, 4
+        a.writes_issued, b.writes_issued = 1, 2
+        a.write_mode_cycles, b.write_mode_cycles = 100, 50
+        a.record_w2w(8)
+        b.record_w2w(48)
+        b.episodes.append(DrainEpisode(32, 20, 0, 100))
+        a.merge_from(b)
+        assert a.reads_issued == 7
+        assert a.writes_issued == 3
+        assert a.write_mode_cycles == 150
+        assert a.w2w_delay_count == 2
+        assert a.w2w_delay_max == 48
+        assert len(a.episodes) == 1
+
+    def test_merge_keeps_max(self):
+        a, b = SubChannelStats(), SubChannelStats()
+        a.record_w2w(100)
+        b.record_w2w(10)
+        a.merge_from(b)
+        assert a.w2w_delay_max == 100

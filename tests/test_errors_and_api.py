@@ -1,0 +1,65 @@
+"""Error taxonomy and public-API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    MappingError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, MappingError, SchedulingError, SimulationError,
+        TraceError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigError("bad")
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_headline_entry_points(self):
+        assert callable(repro.run_workload)
+        assert callable(repro.compare_policies)
+        assert callable(repro.small_8core)
+        assert callable(repro.make_bard)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.cache
+        import repro.core
+        import repro.cpu
+        import repro.dram
+        import repro.prefetch
+        import repro.sim
+        import repro.workloads
+
+        for module in (repro.analysis, repro.cache, repro.core, repro.cpu,
+                       repro.dram, repro.prefetch, repro.sim,
+                       repro.workloads):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__} missing {name}")
+
+    def test_docstrings_on_public_surface(self):
+        """Every public item reachable from the top level is documented."""
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"

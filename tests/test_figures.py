@@ -1,0 +1,44 @@
+"""Figure CSV export/import."""
+
+import pytest
+
+from repro.analysis.figures import (
+    read_figure_csv,
+    series_to_csv,
+    write_figure_csv,
+)
+
+
+class TestSeriesToCsv:
+    def test_basic_layout(self):
+        text = series_to_csv(
+            ["lbm", "cf"], {"baseline": [1.0, 2.0], "bard": [1.5, 2.5]})
+        lines = text.strip().splitlines()
+        assert lines[0] == "workload,baseline,bard"
+        assert lines[1].startswith("lbm,1.0000,1.5000")
+
+    def test_custom_index(self):
+        text = series_to_csv([32, 48], {"speedup": [0.1, 0.2]},
+                             index_name="wq_size")
+        assert text.splitlines()[0] == "wq_size,speedup"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv(["a"], {"s": [1.0, 2.0]})
+
+
+class TestRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        path = write_figure_csv(
+            tmp_path / "fig" / "f14.csv",
+            ["lbm", "cf"],
+            {"baseline": [22.1, 23.0], "bard": [28.8, 28.0]},
+        )
+        data = read_figure_csv(path)
+        assert data["workload"] == ["lbm", "cf"]
+        assert data["bard"] == [28.8, 28.0]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_figure_csv(tmp_path / "a" / "b" / "c.csv", ["x"],
+                                {"y": [1.0]})
+        assert path.exists()

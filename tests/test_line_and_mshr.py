@@ -1,0 +1,73 @@
+"""Cache line/set containers and MSHR entry merging."""
+
+from repro.cache.line import CacheLine, CacheSet
+from repro.cache.mshr import MSHREntry
+
+
+class TestCacheLine:
+    def test_reset_clears_everything(self):
+        line = CacheLine(valid=True, dirty=True, line_addr=0x40,
+                         signature=7, reused=True, prefetched=True)
+        line.reset()
+        assert not line.valid and not line.dirty
+        assert line.line_addr == 0 and line.signature == 0
+        assert not line.reused and not line.prefetched
+
+
+class TestCacheSet:
+    def test_find_by_address(self):
+        cset = CacheSet(4)
+        cset.lines[2].valid = True
+        cset.lines[2].line_addr = 0x1000
+        assert cset.find(0x1000) == 2
+        assert cset.find(0x2000) is None
+
+    def test_invalid_lines_not_found(self):
+        cset = CacheSet(2)
+        cset.lines[0].line_addr = 0x1000  # valid=False
+        assert cset.find(0x1000) is None
+
+    def test_find_invalid(self):
+        cset = CacheSet(2)
+        assert cset.find_invalid() == 0
+        cset.lines[0].valid = True
+        assert cset.find_invalid() == 1
+        cset.lines[1].valid = True
+        assert cset.find_invalid() is None
+
+    def test_ways_allocated(self):
+        assert len(CacheSet(16).lines) == 16
+
+
+class TestMSHREntry:
+    def _entry(self, **kw):
+        defaults = dict(line_addr=0x40, is_write=False, pc=4, core_id=0,
+                        is_prefetch=False, allocated_tick=0)
+        defaults.update(kw)
+        return MSHREntry(**defaults)
+
+    def test_merge_write_upgrades(self):
+        e = self._entry()
+        e.merge(is_write=True, is_prefetch=False, on_done=None)
+        assert e.is_write
+
+    def test_merge_demand_clears_prefetch(self):
+        e = self._entry(is_prefetch=True)
+        e.merge(is_write=False, is_prefetch=False, on_done=None)
+        assert not e.is_prefetch
+
+    def test_merge_prefetch_does_not_set_prefetch(self):
+        e = self._entry(is_prefetch=False)
+        e.merge(is_write=False, is_prefetch=True, on_done=None)
+        assert not e.is_prefetch
+
+    def test_waiters_accumulate(self):
+        e = self._entry()
+        e.merge(False, False, lambda t: None)
+        e.merge(False, False, lambda t: None)
+        assert len(e.waiters) == 2
+
+    def test_none_waiter_skipped(self):
+        e = self._entry()
+        e.merge(False, False, None)
+        assert e.waiters == []

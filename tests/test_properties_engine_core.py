@@ -1,0 +1,89 @@
+"""Property-based tests on the engine and core (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.core import Core
+from repro.cpu.trace import LOAD, NONMEM, STORE
+from repro.sim.engine import Engine
+
+
+class TestEngineProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    max_size=60))
+    def test_events_fire_in_nondecreasing_order(self, ticks):
+        eng = Engine()
+        fired = []
+        for t in ticks:
+            eng.schedule(t, lambda t=t: fired.append(eng.now))
+        eng.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(ticks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 50)),
+                    max_size=30))
+    def test_nested_scheduling_preserves_order(self, pairs):
+        eng = Engine()
+        fired = []
+
+        def make(base, delay):
+            def fn():
+                fired.append(eng.now)
+                eng.schedule(eng.now + delay, lambda: fired.append(eng.now))
+            return fn
+
+        for base, delay in pairs:
+            eng.schedule(base, make(base, delay))
+        eng.run()
+        assert fired == sorted(fired)
+
+
+class InstantMemory:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def access(self, addr, is_write, pc, now, on_done, core_id=0,
+               is_prefetch=False):
+        if on_done is not None:
+            self.engine.schedule(now + 6, lambda: on_done(now + 6))
+
+
+class ZeroTLB:
+    def translate(self, addr):
+        return 0
+
+
+class TestCoreProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([NONMEM, LOAD, STORE]),
+                      st.integers(1, 1 << 20)),
+            min_size=1, max_size=50,
+        ),
+        st.integers(min_value=10, max_value=200),
+    )
+    def test_core_always_retires_exact_budget(self, pattern, budget):
+        """Whatever the instruction mix, the core retires exactly its
+        budget and terminates."""
+
+        def trace():
+            i = 0
+            while True:
+                kind, addr = pattern[i % len(pattern)]
+                yield (kind, addr * 64 if kind != NONMEM else 0, 4 * i)
+                i += 1
+
+        engine = Engine()
+        mem = InstantMemory(engine)
+        finished = []
+        core = Core(0, trace(), engine, mem, mem, ZeroTLB(), ZeroTLB(),
+                    rob_size=32, budget=budget,
+                    on_finish=finished.append)
+        core.start()
+        engine.run(max_events=2_000_000)
+        assert finished
+        assert core.stats.retired == budget
+        assert core.stats.finish_tick >= core.stats.start_tick

@@ -1,0 +1,144 @@
+"""Replacement policies: LRU, SRRIP, SHiP."""
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement import (
+    LRUPolicy,
+    SHiPPolicy,
+    SRRIPPolicy,
+    make_replacement,
+)
+from repro.cache.replacement.srrip import RRPV_INSERT, RRPV_MAX
+from repro.cache.replacement.ship import pc_signature
+
+import pytest
+
+from repro.errors import ConfigError
+
+
+def _lines(n):
+    out = []
+    for i in range(n):
+        line = CacheLine(valid=True, line_addr=i * 64)
+        out.append(line)
+    return out
+
+
+class TestLRU:
+    def test_victim_is_least_recent_fill(self):
+        p = LRUPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way, pc=0)
+        assert p.victim(0, _lines(4)) == 0
+
+    def test_hit_promotes(self):
+        p = LRUPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way, pc=0)
+        p.on_hit(0, 0, pc=0)
+        assert p.victim(0, _lines(4)) == 1
+
+    def test_eviction_order_lru_to_mru(self):
+        p = LRUPolicy(1, 4)
+        for way in (2, 0, 3, 1):
+            p.on_fill(0, way, pc=0)
+        assert p.eviction_order(0, _lines(4)) == [2, 0, 3, 1]
+
+    def test_sets_independent(self):
+        p = LRUPolicy(2, 2)
+        p.on_fill(0, 0, 0)
+        p.on_fill(1, 1, 0)
+        p.on_fill(0, 1, 0)
+        p.on_fill(1, 0, 0)
+        assert p.victim(0, _lines(2)) == 0
+        assert p.victim(1, _lines(2)) == 1
+
+
+class TestSRRIP:
+    def test_insert_rrpv(self):
+        p = SRRIPPolicy(1, 4)
+        p.on_fill(0, 0, 0)
+        assert p.rrpv[0][0] == RRPV_INSERT
+
+    def test_hit_resets_rrpv(self):
+        p = SRRIPPolicy(1, 4)
+        p.on_fill(0, 0, 0)
+        p.on_hit(0, 0, 0)
+        assert p.rrpv[0][0] == 0
+
+    def test_victim_is_max_rrpv(self):
+        p = SRRIPPolicy(1, 4)
+        for w in range(4):
+            p.on_fill(0, w, 0)
+        p.on_hit(0, 0, 0)
+        p.rrpv[0][3] = RRPV_MAX
+        assert p.victim(0, _lines(4)) == 3
+
+    def test_aging_when_no_victim(self):
+        p = SRRIPPolicy(1, 2)
+        p.on_fill(0, 0, 0)
+        p.on_fill(0, 1, 0)
+        v = p.victim(0, _lines(2))
+        assert v == 0  # tie broken by lowest way after aging
+        assert p.rrpv[0][1] == RRPV_MAX
+
+    def test_eviction_order_descending_rrpv(self):
+        p = SRRIPPolicy(1, 4)
+        p.rrpv[0] = [1, 3, 0, 3]
+        assert p.eviction_order(0, _lines(4)) == [1, 3, 0, 2]
+
+
+class TestSHiP:
+    def test_learns_dead_signature(self):
+        p = SHiPPolicy(1, 4)
+        pc = 0x400812
+        sig = pc_signature(pc)
+        # Repeated evictions without reuse drive the counter to zero.
+        line = CacheLine(valid=True, signature=sig, reused=False)
+        for _ in range(10):
+            p.on_eviction(0, 0, line)
+        assert p.shct[sig] == 0
+        p.on_fill(0, 1, pc)
+        assert p.rrpv[0][1] == RRPV_MAX
+
+    def test_reused_lines_keep_long_insert(self):
+        p = SHiPPolicy(1, 4)
+        pc = 0x400812
+        p.on_fill(0, 0, pc)
+        assert p.rrpv[0][0] == RRPV_INSERT
+
+    def test_hit_trains_up(self):
+        p = SHiPPolicy(1, 4)
+        pc = 0x99
+        sig = pc_signature(pc)
+        before = p.shct[sig]
+        p.on_hit(0, 0, pc)
+        assert p.shct[sig] == before + 1
+
+    def test_eviction_of_reused_line_no_decrement(self):
+        p = SHiPPolicy(1, 4)
+        sig = 123
+        before = p.shct[sig]
+        line = CacheLine(valid=True, signature=sig, reused=True)
+        p.on_eviction(0, 0, line)
+        assert p.shct[sig] == before
+
+    def test_prefetch_fill_not_predicted_dead(self):
+        p = SHiPPolicy(1, 4)
+        pc = 0x77
+        sig = pc_signature(pc)
+        p.shct[sig] = 0
+        p.on_fill(0, 0, pc, is_prefetch=True)
+        assert p.rrpv[0][0] == RRPV_INSERT
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy), ("srrip", SRRIPPolicy), ("ship", SHiPPolicy),
+        ("LRU", LRUPolicy),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_replacement(name, 4, 4), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            make_replacement("belady", 4, 4)

@@ -1,0 +1,54 @@
+"""RunResult and stats edge cases."""
+
+import pytest
+
+from repro.cache.cache import CacheStats
+from repro.dram.stats import SubChannelStats
+from repro.sim.results import RunResult
+
+
+def _empty_result(**kw):
+    defaults = dict(
+        label="x", cores=1, instructions=0, elapsed_ticks=0,
+        ipc=[], llc=CacheStats(), dram=SubChannelStats(),
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestDegenerateResults:
+    def test_zero_instructions(self):
+        r = _empty_result()
+        assert r.mpki == 0.0
+        assert r.wpki == 0.0
+
+    def test_zero_elapsed(self):
+        r = _empty_result()
+        assert r.time_writing_pct == 0.0
+        assert r.runtime_ns == 0.0
+
+    def test_no_cores_mean_ipc(self):
+        assert _empty_result().mean_ipc == 0.0
+
+    def test_no_episodes_blp(self):
+        assert _empty_result().write_blp == 0.0
+
+
+class TestCacheStatsDerived:
+    def test_demand_split(self):
+        s = CacheStats(accesses=10, misses=6, prefetch_accesses=3,
+                       prefetch_misses=2)
+        assert s.demand_accesses == 7
+        assert s.demand_misses == 4
+        assert s.miss_rate == pytest.approx(4 / 7)
+
+    def test_miss_rate_no_accesses(self):
+        assert CacheStats().miss_rate == 0.0
+
+
+class TestWeightedSpeedupMismatch:
+    def test_core_count_mismatch_asserts(self):
+        a = _empty_result(ipc=[1.0])
+        b = _empty_result(ipc=[1.0, 2.0])
+        with pytest.raises(AssertionError):
+            a.weighted_speedup(b)

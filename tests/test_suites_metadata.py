@@ -1,0 +1,64 @@
+"""Paper Table III/IV metadata spot checks.
+
+The suite definitions embed the paper's published workload
+characteristics; these tests pin a sample of those values so accidental
+edits to the tables are caught.
+"""
+
+from repro.workloads.suites import MIXES, WORKLOADS
+
+
+class TestTableIVReferences:
+    def test_lbm(self):
+        p = WORKLOADS["lbm"].paper
+        assert (p.mpki, p.wpki) == (48.5, 25.5)
+        assert (p.wblp, p.write_pct) == (24.6, 51.8)
+
+    def test_cf_is_most_write_bound(self):
+        """cf spends the most time writing (57.3%) in Table IV."""
+        assert WORKLOADS["cf"].paper.write_pct == 57.3
+        assert all(
+            spec.paper.write_pct <= 57.3 for spec in WORKLOADS.values()
+        )
+
+    def test_roms_has_lowest_wblp(self):
+        assert WORKLOADS["roms"].paper.wblp == 11.4
+        assert all(
+            spec.paper.wblp >= 11.4 for spec in WORKLOADS.values()
+        )
+
+    def test_add_has_highest_mpki(self):
+        assert WORKLOADS["add"].paper.mpki == 129.3
+        assert all(
+            spec.paper.mpki <= 129.3 for spec in WORKLOADS.values()
+        )
+
+    def test_suite_membership(self):
+        assert WORKLOADS["cam4"].suite == "spec"
+        assert WORKLOADS["bc"].suite == "ligra"
+        assert WORKLOADS["triad"].suite == "stream"
+        assert WORKLOADS["whiskey"].suite == "google"
+
+    def test_suite_sizes(self):
+        by_suite = {}
+        for spec in WORKLOADS.values():
+            by_suite.setdefault(spec.suite, 0)
+            by_suite[spec.suite] += 1
+        assert by_suite == {"spec": 7, "ligra": 8, "stream": 4,
+                            "google": 4}
+
+
+class TestTableIIIMixes:
+    def test_mix2(self):
+        assert MIXES["mix2"] == ["roms", "fotonik3d", "wrf", "triangle",
+                                 "bc", "bellmanford", "pagerank", "radii"]
+
+    def test_mix5(self):
+        assert MIXES["mix5"] == ["roms", "bwaves", "fotonik3d", "wrf",
+                                 "lbm", "triangle", "pagerankdelta",
+                                 "delta"]
+
+    def test_every_mix_draws_from_multiple_suites(self):
+        for name, parts in MIXES.items():
+            suites = {WORKLOADS[p].suite for p in parts}
+            assert len(suites) >= 2, f"{name} uses a single suite"

@@ -1,0 +1,102 @@
+"""System builder semantics: wiring, warmup epochs, sharing."""
+
+import pytest
+
+from repro.cache.writeback.eager import EagerWriteback
+from repro.cache.writeback.vwq import VirtualWriteQueue
+from repro.sim.system import System
+from repro.workloads import trace_factory
+
+from .conftest import tiny_config
+
+
+def build(cfg):
+    return System(cfg, trace_factory("copy", cfg))
+
+
+class TestWiring:
+    def test_one_llc_shared_by_all_cores(self):
+        system = build(tiny_config())
+        for l2 in system.l2s:
+            assert l2.lower is system.llc
+
+    def test_private_l1_and_l2_per_core(self):
+        system = build(tiny_config())
+        assert len({id(l2) for l2 in system.l2s}) == len(system.cores)
+        for l1d, l2 in zip(system.l1ds, system.l2s):
+            assert l1d.lower is l2
+
+    def test_l1i_shares_l2_with_l1d(self):
+        system = build(tiny_config())
+        for l1i, l2 in zip(system.l1is, system.l2s):
+            assert l1i.lower is l2
+
+    def test_llc_feeds_memory_controller(self):
+        system = build(tiny_config())
+        assert system.llc.lower is system.memctrl
+
+    def test_prefetchers_attached_per_config(self):
+        cfg = tiny_config()
+        system = build(cfg)
+        assert system.l1ds[0].prefetcher is not None
+        assert system.l2s[0].prefetcher is not None
+        assert system.llc.prefetcher is None
+
+    @pytest.mark.parametrize("policy,cls", [
+        ("eager", EagerWriteback), ("vwq", VirtualWriteQueue),
+    ])
+    def test_llc_writeback_policy_wired(self, policy, cls):
+        system = build(tiny_config(llc_writeback=policy))
+        assert isinstance(system.llc.wb_policy, cls)
+
+    def test_channel_count_matches_config(self):
+        from dataclasses import replace
+
+        cfg = tiny_config()
+        cfg = replace(cfg, dram=replace(cfg.dram, channels=2))
+        system = build(cfg)
+        assert len(system.channels) == 2
+        assert system.mapping.channels == 2
+
+
+class TestWarmupEpoch:
+    def test_measurement_excludes_warmup(self):
+        cfg = tiny_config(warmup_instructions=2_000,
+                          sim_instructions=3_000)
+        system = build(cfg)
+        result = system.run()
+        assert result.instructions == cfg.cores * 3_000
+
+    def test_zero_warmup_supported(self):
+        cfg = tiny_config(warmup_instructions=0, sim_instructions=2_000)
+        system = build(cfg)
+        result = system.run()
+        assert result.instructions == cfg.cores * 2_000
+
+    def test_warmup_keeps_cache_state(self):
+        """After warmup the LLC must already be populated, so early
+        measurement-phase accesses can hit."""
+        cfg = tiny_config()
+        system = build(cfg)
+        system.run()
+        resident = sum(
+            1 for cset in system.llc.sets for line in cset.lines
+            if line.valid
+        )
+        assert resident > 0
+
+    def test_elapsed_positive_and_consistent(self):
+        system = build(tiny_config())
+        result = system.run()
+        assert result.elapsed_ticks > 0
+        for ipc in result.ipc:
+            assert 0 < ipc < 8  # bounded by issue width
+
+
+class TestResultSnapshot:
+    def test_stats_are_copies(self):
+        system = build(tiny_config())
+        result = system.run()
+        before = result.llc.accesses
+        system.llc.stats.accesses += 1000
+        assert result.llc.accesses == before

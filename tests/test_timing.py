@@ -1,0 +1,97 @@
+"""DDR5 timing parameters (paper Table I)."""
+
+import pytest
+
+from repro.dram.timing import (
+    DDR5Timing,
+    DRAM_CYCLE_NS,
+    ddr5_4800_x4,
+    ddr5_4800_x8,
+)
+
+
+class TestTableIValues:
+    """The x4 defaults must match paper Table I exactly."""
+
+    def setup_method(self):
+        self.t = ddr5_4800_x4()
+
+    def test_cl(self):
+        assert self.t.cl == 40
+
+    def test_cwl(self):
+        assert self.t.cwl == 38
+
+    def test_trcd(self):
+        assert self.t.trcd == 39
+
+    def test_trp(self):
+        assert self.t.trp == 39
+
+    def test_tras(self):
+        assert self.t.tras == 77
+
+    def test_twr(self):
+        assert self.t.twr == 72
+
+    def test_burst(self):
+        assert self.t.burst == 8
+
+    def test_tccd_s_wr(self):
+        assert self.t.tccd_s_wr == 8
+
+    def test_tccd_l_wr(self):
+        assert self.t.tccd_l_wr == 48
+
+
+class TestDerivedDelays:
+    def test_write_conflict_is_188_cycles(self):
+        """Paper Fig. 5: row-conflict write-to-write is 188 cycles."""
+        assert ddr5_4800_x4().write_conflict_delay == 188
+
+    def test_write_conflict_is_about_24x(self):
+        t = ddr5_4800_x4()
+        ratio = t.write_conflict_delay / t.tccd_s_wr
+        assert 23 <= ratio <= 24
+
+    def test_same_bankgroup_is_6x(self):
+        t = ddr5_4800_x4()
+        assert t.tccd_l_wr == 6 * t.tccd_s_wr
+
+    def test_burst_time_is_3_3ns(self):
+        t = ddr5_4800_x4()
+        assert t.ns(t.burst) == pytest.approx(10 / 3, rel=1e-6)
+
+    def test_tccd_l_wr_is_20ns(self):
+        t = ddr5_4800_x4()
+        assert t.ns(t.tccd_l_wr) == pytest.approx(20, rel=0.01)
+
+
+class TestX8Variant:
+    """Paper section VII-D: x8 devices halve the same-BG write penalty."""
+
+    def test_x8_tccd_l_wr_is_10ns(self):
+        t = ddr5_4800_x8()
+        assert t.ns(t.tccd_l_wr) == pytest.approx(10, rel=0.01)
+
+    def test_x8_still_3x_minimum(self):
+        t = ddr5_4800_x8()
+        assert t.tccd_l_wr == 3 * t.tccd_s_wr
+
+    def test_other_params_unchanged(self):
+        x4, x8 = ddr5_4800_x4(), ddr5_4800_x8()
+        assert (x8.cl, x8.cwl, x8.trcd, x8.trp) == (
+            x4.cl, x4.cwl, x4.trcd, x4.trp)
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DDR5Timing(cl=0)
+
+    def test_rejects_l_shorter_than_s(self):
+        with pytest.raises(ValueError):
+            DDR5Timing(tccd_l_wr=4, tccd_s_wr=8)
+
+    def test_dram_cycle_ns(self):
+        assert DRAM_CYCLE_NS == pytest.approx(1 / 2.4, rel=1e-9)

@@ -1,0 +1,91 @@
+"""Trace-file persistence and replay."""
+
+import pytest
+
+from repro.cpu.trace import LOAD, NONMEM, STORE, take
+from repro.errors import TraceError
+from repro.workloads.synthetic import graph_trace
+from repro.workloads.tracefile import (
+    HEADER,
+    load_trace,
+    read_records,
+    save_trace,
+)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "t.trace"
+        gen = graph_trace(3, 0, 1 << 14)
+        original = take(graph_trace(3, 0, 1 << 14), 200)
+        written = save_trace(gen, path, 200)
+        assert written == 200
+        assert read_records(path) == original
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        save_trace(graph_trace(3, 0, 1 << 14), path, 100)
+        assert len(read_records(path)) == 100
+
+    def test_load_replays_forever(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(iter([(LOAD, 64, 4), (STORE, 128, 8)]), path, 2)
+        records = take(load_trace(path), 7)
+        assert len(records) == 7
+        assert records[0] == records[2] == records[4]
+
+    def test_finite_source_truncates(self, tmp_path):
+        path = tmp_path / "t.trace"
+        written = save_trace(iter([(NONMEM, 0, 4)] * 3), path, 100)
+        assert written == 3
+
+
+class TestValidation:
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1 40 8\n")
+        with pytest.raises(TraceError):
+            read_records(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{HEADER}\n1 40\n")
+        with pytest.raises(TraceError):
+            read_records(path)
+
+    def test_bad_field(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{HEADER}\n1 zz 8\n")
+        with pytest.raises(TraceError):
+            read_records(path)
+
+    def test_bad_kind(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{HEADER}\n7 40 8\n")
+        with pytest.raises(TraceError):
+            read_records(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text(f"{HEADER}\n")
+        with pytest.raises(TraceError):
+            read_records(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(f"{HEADER}\n# comment\n\n1 40 8\n")
+        assert read_records(path) == [(LOAD, 0x40, 8)]
+
+
+class TestCoreIntegration:
+    def test_core_runs_from_trace_file(self, tmp_path):
+        from repro.sim.system import System
+        from tests.conftest import tiny_config
+
+        path = tmp_path / "wl.trace"
+        save_trace(graph_trace(3, 0, 1 << 14), path, 500)
+        cfg = tiny_config(cores=1, warmup_instructions=100,
+                          sim_instructions=400)
+        system = System(cfg, lambda core_id: load_trace(path))
+        result = system.run(label="from-file")
+        assert result.instructions == 400

@@ -1,0 +1,64 @@
+"""Calibration probes for the synthetic workload generators."""
+
+import pytest
+
+from repro.config.presets import small_8core
+from repro.workloads.suites import WORKLOADS
+from repro.workloads.synthetic import graph_trace, stream_trace
+from repro.workloads.validation import profile_suite, profile_trace
+
+
+class TestProfileTrace:
+    def test_stream_profile(self):
+        p = profile_trace(stream_trace(0, 0, 1 << 16), count=4000)
+        assert p.records == 4000
+        # copy: 1 load + 1 store per 4 instructions.
+        assert p.mem_fraction == pytest.approx(0.5, abs=0.05)
+        assert p.store_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_graph_spreads_over_banks(self):
+        p = profile_trace(graph_trace(1, 0, 1 << 20), count=8000)
+        assert p.unique_banks >= 32  # both sub-channels used
+
+    def test_footprint_positive(self):
+        p = profile_trace(stream_trace(0, 0, 1 << 16), count=1000)
+        assert p.footprint_bytes > 1 << 16  # two arrays plus gap
+
+    def test_truncated_source(self):
+        p = profile_trace(iter([(0, 0, 4)] * 10), count=100)
+        assert p.records == 10
+        assert p.mem_fraction == 0.0
+        assert p.footprint_bytes == 0
+
+
+class TestSuiteCalibration:
+    """Every named workload must be in its intended first-order band."""
+
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return profile_suite(small_8core(), count=12_000)
+
+    def test_all_workloads_profiled(self, profiles):
+        assert set(profiles) == set(WORKLOADS)
+
+    def test_memory_intensity_band(self, profiles):
+        for name, p in profiles.items():
+            assert 0.15 <= p.mem_fraction <= 0.7, (
+                f"{name}: mem fraction {p.mem_fraction:.2f} out of band")
+
+    def test_every_workload_stores(self, profiles):
+        """Paper selects WPKI > 2.5 workloads: all must write."""
+        for name, p in profiles.items():
+            assert p.store_fraction > 0.02, f"{name}: too few stores"
+
+    def test_bank_coverage(self, profiles):
+        for name, p in profiles.items():
+            assert p.unique_banks >= 16, (
+                f"{name}: touches only {p.unique_banks} banks")
+
+    def test_working_sets_exceed_llc(self, profiles):
+        """Working sets must pressure the LLC or no writebacks occur."""
+        llc = small_8core().llc.size_bytes
+        for name, p in profiles.items():
+            assert p.footprint_bytes > llc, (
+                f"{name}: footprint smaller than the LLC")

@@ -1,0 +1,37 @@
+"""Writeback-policy base class and stats."""
+
+from repro.cache.writeback.base import WritebackPolicy, WritebackPolicyStats
+
+
+class TestBasePolicy:
+    def test_default_victim_passthrough(self):
+        p = WritebackPolicy()
+        assert p.choose_victim(0, 3, now=100) == 3
+        assert p.stats.victim_selections == 1
+
+    def test_hooks_are_noops(self):
+        p = WritebackPolicy()
+        p.on_hit(0, 0, 0)
+        p.on_dirty(0x40)
+        p.on_undirty(0x40)
+        p.on_writeback(0x40)
+        assert p.stats.overrides == 0
+        assert p.stats.cleanses == 0
+
+    def test_attach_binds_cache(self):
+        p = WritebackPolicy()
+        marker = object()
+        p.attach(marker)
+        assert p.cache is marker
+
+
+class TestStats:
+    def test_plain_evictions(self):
+        s = WritebackPolicyStats(victim_selections=100, overrides=5,
+                                 cleanses=30)
+        assert s.plain_evictions == 95
+
+    def test_defaults_zero(self):
+        s = WritebackPolicyStats()
+        assert s.victim_selections == 0
+        assert s.plain_evictions == 0

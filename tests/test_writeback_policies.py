@@ -1,0 +1,155 @@
+"""Eager Writeback and Virtual Write Queue baselines (paper section VI)."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import LRUPolicy
+from repro.cache.writeback import (
+    EagerWriteback,
+    VirtualWriteQueue,
+    make_writeback_policy,
+)
+from repro.dram.mapping import ZenMapping
+from repro.errors import ConfigError
+from repro.sim.engine import Engine
+
+MAPPING = ZenMapping(pbpl=True)
+
+
+class FakeLower:
+    def __init__(self, engine):
+        self.engine = engine
+        self.reads = []
+        self.writebacks = []
+
+    def read(self, line_addr, now, on_done, core_id, is_prefetch, pc=0):
+        self.reads.append(line_addr)
+        self.engine.schedule(now + 10, lambda: on_done(now + 10))
+
+    def writeback(self, line_addr, now):
+        self.writebacks.append(line_addr)
+
+
+def make_env(policy, ways=4):
+    engine = Engine()
+    lower = FakeLower(engine)
+    cache = Cache("llc", 4 * ways * 64, ways, 1, 8, LRUPolicy(4, ways),
+                  engine, lower, writeback_policy=policy)
+    return engine, lower, cache
+
+
+def row_addr(row: int) -> int:
+    return row << 19
+
+
+class TestEagerWriteback:
+    def test_cleans_lru_dirty_on_hit(self):
+        engine, lower, cache = make_env(EagerWriteback())
+        cache.writeback(row_addr(0), 0)       # dirty LRU
+        cache.access(row_addr(1), False, 1, 0, None)
+        engine.run()
+        # The hit on row 1's fill... trigger an explicit hit:
+        cache.access(row_addr(1), False, 1, engine.now, None)
+        engine.run()
+        assert row_addr(0) in lower.writebacks
+        s, w = cache.find_line(row_addr(0))
+        assert not cache.sets[s].lines[w].dirty
+
+    def test_cleans_next_lru_on_eviction(self):
+        engine, lower, cache = make_env(EagerWriteback())
+        for row in range(4):
+            cache.writeback(row_addr(row), 0)
+        cache.writeback(row_addr(4), 0)  # evicts row 0 (dirty WB)
+        # Row 1 (new LRU) gets eagerly cleaned too.
+        assert row_addr(0) in lower.writebacks
+        assert row_addr(1) in lower.writebacks
+        s, w = cache.find_line(row_addr(1))
+        assert not cache.sets[s].lines[w].dirty
+
+    def test_bank_unaware(self):
+        """EW never consults any bank state (that is its flaw on DDR5)."""
+        engine, lower, cache = make_env(EagerWriteback())
+        cache.writeback(row_addr(0), 0)
+        cache.access(row_addr(1), False, 1, 0, None)
+        engine.run()
+        cache.access(row_addr(1), False, 1, engine.now, None)
+        engine.run()
+        assert lower.writebacks  # cleaned regardless of bank
+
+
+class TestVWQ:
+    def _same_row_addrs(self):
+        """Two addresses in the same DRAM row but different cache sets."""
+        base = row_addr(3)
+        other = base | (1 << 13)  # different column -> same row/bank
+        a, b = MAPPING.map(base), MAPPING.map(other)
+        assert (a.bankgroup, a.bank, a.row) == (b.bankgroup, b.bank, b.row)
+        return base, other
+
+    def test_cleans_same_row_dirty_lines(self):
+        policy = VirtualWriteQueue(MAPPING)
+        engine, lower, cache = make_env(policy)
+        base, other = self._same_row_addrs()
+        set_idx = cache.set_index(base)
+        assert cache.set_index(other) == set_idx
+        # Fill the 4-way set: base (dirty, LRU), other (dirty), two clean.
+        cache.writeback(base, 0)
+        cache.writeback(other, 0)
+        for tag in (100, 101):
+            cache.access((tag * cache.num_sets + set_idx) * 64,
+                         False, 1, engine.now, None)
+            engine.run()
+        # One more install evicts base (the dirty LRU victim); VWQ then
+        # proactively cleans "other" because it shares base's DRAM row.
+        cache.access((102 * cache.num_sets + set_idx) * 64,
+                     False, 1, engine.now, None)
+        engine.run()
+        assert base in lower.writebacks
+        assert other in lower.writebacks  # proactively cleaned (same row)
+        found = cache.find_line(other)
+        assert found is not None
+        s, w = found
+        assert not cache.sets[s].lines[w].dirty
+
+    def test_index_maintained_on_undirty(self):
+        policy = VirtualWriteQueue(MAPPING)
+        engine, lower, cache = make_env(policy)
+        base, other = self._same_row_addrs()
+        cache.writeback(other, 0)
+        s, w = cache.find_line(other)
+        cache.cleanse(s, w, 0)
+        key = policy._row_key(other)
+        assert other not in policy._rows.get(key, set())
+
+    def test_clean_victim_triggers_nothing(self):
+        policy = VirtualWriteQueue(MAPPING)
+        engine, lower, cache = make_env(policy)
+        cache.access(row_addr(0), False, 1, 0, None)
+        engine.run()
+        for row in range(1, 5):
+            cache.access(row_addr(row), False, 1, engine.now, None)
+            engine.run()
+        assert lower.writebacks == []
+
+
+class TestFactory:
+    def test_none(self):
+        assert make_writeback_policy(None, MAPPING) is None
+        assert make_writeback_policy("none", MAPPING) is None
+
+    def test_eager(self):
+        assert isinstance(make_writeback_policy("eager", MAPPING),
+                          EagerWriteback)
+
+    def test_vwq(self):
+        assert isinstance(make_writeback_policy("vwq", MAPPING),
+                          VirtualWriteQueue)
+
+    def test_bard(self):
+        from repro.core.bard import BardPolicy
+        assert isinstance(make_writeback_policy("bard-h", MAPPING),
+                          BardPolicy)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_writeback_policy("magic", MAPPING)
