@@ -1,8 +1,10 @@
 """Shared benchmark harness.
 
-Every benchmark regenerates one table or figure from the paper.  Runs are
-memoised per (config, workload, seed) for the whole pytest session so the
-baseline simulations are shared between benchmarks.
+Every benchmark regenerates one table or figure from the paper.  All runs
+go through one shared :class:`repro.experiment.Session`, so identical
+(config, workload, seed) simulations are shared between benchmarks for
+the whole pytest session.  Set ``REPRO_CACHE_DIR`` to also persist
+results on disk and reuse them across harness invocations.
 
 Scale control via ``REPRO_SCALE``:
 
@@ -19,12 +21,12 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.config.presets import small_8core, small_16core
 from repro.config.system import SystemConfig
+from repro.experiment import CACHE_DIR_ENV, Session
 from repro.sim.results import RunResult
-from repro.sim.runner import run_workload
 from repro.workloads.suites import ALL_WORKLOADS, QUICK_WORKLOADS
 
 SCALE = os.environ.get("REPRO_SCALE", "quick").lower()
@@ -35,7 +37,10 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 #: Default seed used by every experiment.
 SEED = 7
 
-_results: Dict[Tuple[SystemConfig, str, int], RunResult] = {}
+#: One session for the whole benchmark run: the in-memory memo replaces
+#: the old ad-hoc dict; the disk cache activates only when the caller
+#: opts in via REPRO_CACHE_DIR.
+SESSION = Session(cache=bool(os.environ.get(CACHE_DIR_ENV)))
 
 
 def bench_workloads() -> List[str]:
@@ -60,11 +65,8 @@ def config_16core() -> SystemConfig:
 
 
 def sim(config: SystemConfig, workload: str, seed: int = SEED) -> RunResult:
-    """Memoised simulation run."""
-    key = (config, workload, seed)
-    if key not in _results:
-        _results[key] = run_workload(config, workload, seed=seed)
-    return _results[key]
+    """Memoised simulation run (shared session, optional disk cache)."""
+    return SESSION.run_one(config, workload, seed=seed)
 
 
 def emit(name: str, text: str) -> None:

@@ -4,26 +4,33 @@
 Graph workloads scatter vertex updates across the whole vertex array, so
 their LLC writeback stream mixes many banks with little spatial structure
 - the regime where the choice between evicting (BARD-E) and cleansing
-(BARD-C) matters most.  This example compares all three variants per
-kernel and shows the decision mix BARD-H settles into.
+(BARD-C) matters most.  The whole kernels x variants grid is one
+:class:`repro.ExperimentSpec`; the session runs the 16 simulations in
+parallel (the baseline per kernel is shared automatically), and each
+kernel's report is a ``ResultSet`` query.
 """
 
-from repro import compare_policies, small_8core
+from repro import ExperimentSpec, Session, small_8core
 
 KERNELS = ["cf", "bc", "pagerank", "bellmanford"]
-POLICIES = [None, "bard-e", "bard-c", "bard-h"]
+POLICIES = ["baseline", "bard-e", "bard-c", "bard-h"]
 
 
 def main() -> None:
-    config = small_8core()
-    for kernel in KERNELS:
-        comp = compare_policies(config, kernel, POLICIES)
-        base = comp.results["baseline"]
+    spec = ExperimentSpec(workloads=KERNELS, configs=small_8core(),
+                          policies=POLICIES, name="graph-analytics")
+    rs = Session(parallel=4).run(spec)
+
+    for kernel, kset in rs.group_by("workload").items():
+        base = kset.filter(policy="baseline").only().result
         print(f"\n{kernel}: baseline BLP {base.write_blp:.1f}, "
               f"writing {base.time_writing_pct:.1f}% of time")
-        for policy in ("bard-e", "bard-c", "bard-h"):
-            r = comp.results[policy]
-            line = (f"  {policy:<7} speedup {comp.speedup_pct(policy):+6.2f}%"
+        speedups = kset.speedup_vs("policy")
+        for policy in POLICIES[1:]:
+            obs = speedups.filter(policy=policy).only()
+            r = obs.result
+            line = (f"  {policy:<7} speedup "
+                    f"{obs.value('speedup_pct'):+6.2f}%"
                     f"  BLP {r.write_blp:5.1f}"
                     f"  W% {r.time_writing_pct:5.1f}")
             if policy == "bard-h":

@@ -1,11 +1,14 @@
 #!/usr/bin/env python
 """Quickstart: measure BARD's effect on one write-intensive workload.
 
-Runs the paper's ``lbm`` workload (the most write-intensive SPEC2017
-member) on the scaled-down 8-core DDR5 system, once with the baseline LRU
-LLC and once with BARD-H, and prints the metrics the paper is built
-around: write bank-level parallelism, time spent writing, write-to-write
-delay, and weighted speedup.
+Declares the two-run experiment (baseline vs BARD-H on the paper's
+``lbm``, the most write-intensive SPEC2017 member) as an
+:class:`repro.ExperimentSpec`, executes it through a cached
+:class:`repro.Session` - re-running this script is instant because
+finished runs persist under ``~/.cache/repro`` - and queries the
+:class:`repro.ResultSet` for the metrics the paper is built around:
+write bank-level parallelism, time spent writing, write-to-write delay,
+and weighted speedup.
 
 Usage::
 
@@ -14,7 +17,7 @@ Usage::
 
 import sys
 
-from repro import compare_policies, small_8core
+from repro import ExperimentSpec, Session, small_8core
 
 
 def main() -> None:
@@ -23,9 +26,12 @@ def main() -> None:
     print(f"simulating {workload!r} on {config.cores} cores "
           f"(baseline vs BARD-H)...")
 
-    comp = compare_policies(config, workload, [None, "bard-h"])
-    base = comp.results["baseline"]
-    bard = comp.results["bard-h"]
+    spec = ExperimentSpec(workloads=workload, configs=config,
+                          policies=["baseline", "bard-h"],
+                          name="quickstart")
+    rs = Session().run(spec)
+    base = rs.filter(policy="baseline").only().result
+    bard = rs.filter(policy="bard-h").only().result
 
     print(f"\n{'metric':<28} {'baseline':>10} {'BARD-H':>10}")
     print("-" * 50)
@@ -40,8 +46,9 @@ def main() -> None:
     for name, b, r in rows:
         print(f"{name:<28} {b:>10.2f} {r:>10.2f}")
 
+    speedup = rs.speedup_vs("policy").only().value("speedup_pct")
     print("-" * 50)
-    print(f"{'weighted speedup':<28} {comp.speedup_pct('bard-h'):>+9.2f}%")
+    print(f"{'weighted speedup':<28} {speedup:>+9.2f}%")
     decisions = bard.wb_stats
     total = max(1, decisions.victim_selections)
     print(f"\nBARD-H decisions: {decisions.victim_selections} victim "

@@ -3,38 +3,47 @@
 
 A hardware designer can buy write-scheduling headroom two ways: enlarge
 the fully-associative write queue (kilobytes of CAM, power, latency) or
-add BARD (8 bytes of SRAM per channel per LLC slice).  This example sweeps
-the write-queue size for both designs and prints the crossover: BARD with
-the stock 48-entry queue performs about as well as a substantially larger
-baseline queue.
+add BARD (8 bytes of SRAM per channel per LLC slice).  This example
+declares the whole sweep - WQ sizes x {baseline, BARD-H} x workloads -
+as one :class:`repro.ExperimentSpec` with a ``wq`` axis, runs it through
+a parallel cached :class:`repro.Session`, and reads the crossover out of
+the :class:`repro.ResultSet`: BARD with the stock 48-entry queue performs
+about as well as a substantially larger baseline queue.
 """
 
-from repro import run_workload, small_8core
+from repro import ExperimentSpec, Session, make_axis, small_8core
 from repro.analysis import gmean
 
 WQ_SIZES = [32, 48, 64, 96]
 WORKLOADS = ["lbm", "copy", "cf"]
 
 
-def gmean_speedup(cfg, reference_results):
-    ratios = []
-    for wl in WORKLOADS:
-        res = run_workload(cfg, wl)
-        ratios.append(res.weighted_speedup(reference_results[wl]))
-    return 100.0 * (gmean(ratios) - 1)
-
-
 def main() -> None:
-    reference_cfg = small_8core()  # 48-entry baseline
-    reference = {wl: run_workload(reference_cfg, wl) for wl in WORKLOADS}
+    session = Session(parallel=4)
+    # Reference: the stock 48-entry baseline queue per workload.
+    reference = session.run(ExperimentSpec(
+        workloads=WORKLOADS, configs=small_8core(),
+        name="wq-reference"))
+    ref = {obs.coords["workload"]: obs.result for obs in reference}
+
+    sweep = session.run(ExperimentSpec(
+        workloads=WORKLOADS, configs=small_8core(),
+        policies=["baseline", "bard-h"],
+        axes=[make_axis("wq", WQ_SIZES)],
+        name="wq-provisioning"))
+
+    def gmean_speedup(size: int, policy: str) -> float:
+        sub = sweep.filter(wq=str(size), policy=policy)
+        ratios = [obs.result.weighted_speedup(ref[obs.coords["workload"]])
+                  for obs in sub]
+        return 100.0 * (gmean(ratios) - 1.0)
 
     print(f"{'WQ size':>8} {'baseline %':>12} {'BARD %':>9}")
     print("-" * 32)
     rows = []
     for size in WQ_SIZES:
-        cfg = small_8core().with_wq(size)
-        base = gmean_speedup(cfg, reference)
-        bard = gmean_speedup(cfg.with_writeback("bard-h"), reference)
+        base = gmean_speedup(size, "baseline")
+        bard = gmean_speedup(size, "bard-h")
         rows.append((size, base, bard))
         print(f"{size:>8} {base:>+12.2f} {bard:>+9.2f}")
 

@@ -1,5 +1,22 @@
-"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
-package (offline environment). All real metadata lives in pyproject.toml."""
-from setuptools import setup
+"""Setuptools metadata for the BARD reproduction.
 
-setup()
+Kept as a plain ``setup.py`` so ``pip install -e .`` works without the
+``wheel``/``build`` packages (offline environment).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-bard",
+    version="1.0.0",
+    description="BARD (HPCA 2026) reproduction: DDR5 write-latency "
+                "simulation with a declarative experiment layer",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

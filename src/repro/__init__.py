@@ -6,13 +6,19 @@ simulation substrate: a trace-driven multi-core model, a three-level cache
 hierarchy with pluggable replacement/writeback policies, and a cycle-level
 DDR5 memory system.
 
-Quickstart::
+Quickstart - declare an experiment grid, run it (deduplicated, cached,
+optionally parallel), and query the results::
 
-    from repro import compare_policies, small_8core
+    from repro import ExperimentSpec, Session, small_8core
 
-    comp = compare_policies(small_8core(), "lbm",
-                            [None, "bard-h"])
-    print(comp.speedup_pct("bard-h"))
+    spec = ExperimentSpec(workloads=["lbm", "copy"],
+                          configs=small_8core(),
+                          policies=["baseline", "bard-h"])
+    rs = Session(parallel=4).run(spec)
+    bard = rs.speedup_vs("policy").filter(policy="bard-h")
+    print(f"BARD-H gmean speedup: {bard.gmean_speedup_pct():+.2f}%")
+
+Single runs stay one call: ``run_workload(small_8core(), "lbm")``.
 """
 
 from repro.config import (
@@ -26,6 +32,17 @@ from repro.config import (
     small_16core,
 )
 from repro.core import BLPTracker, BardPolicy, make_bard
+from repro.experiment import (
+    Axis,
+    ExperimentSpec,
+    Observation,
+    ResultCache,
+    ResultSet,
+    RunPlan,
+    RunSpec,
+    Session,
+    make_axis,
+)
 from repro.sim import (
     PolicyComparison,
     RunResult,
@@ -47,12 +64,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_WORKLOADS",
+    "Axis",
     "BLPTracker",
     "BardPolicy",
     "CacheConfig",
     "DramConfig",
+    "ExperimentSpec",
     "MIXES",
+    "Observation",
     "PolicyComparison",
+    "ResultCache",
+    "ResultSet",
+    "RunPlan",
+    "RunSpec",
+    "Session",
     "QUICK_WORKLOADS",
     "RunResult",
     "System",
@@ -62,6 +87,7 @@ __all__ = [
     "compare_policies",
     "default_config",
     "gmean_speedups",
+    "make_axis",
     "make_bard",
     "paper_8core",
     "paper_16core",

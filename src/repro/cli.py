@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands
 --------
@@ -6,21 +6,33 @@ Commands
 ``run``            one workload under one configuration, print metrics
 ``compare``        one workload under several writeback policies
 ``characterize``   Table IV-style characterization of several workloads
+``sweep``          grid sweep over arbitrary axes (workloads x policies
+                   x seeds x any registered config axis)
 ``sweep-wq``       write-queue size sweep (paper Fig. 17)
-``list``           available workloads, policies, and presets
+``list``           available workloads, policies, presets, and axes
+
+Every simulating command runs through the declarative experiment layer
+(:mod:`repro.experiment`): duplicate grid points simulate once, finished
+runs are cached on disk (``--cache-dir``/``--no-cache``), fresh runs can
+fan out over processes (``--parallel N``), and ``--json`` emits records
+instead of tables.
 
 Examples::
 
     python -m repro run lbm --policy bard-h
     python -m repro compare lbm --policies baseline bard-e bard-c bard-h
-    python -m repro characterize lbm copy cf whiskey
+    python -m repro characterize lbm copy cf whiskey --parallel 4
+    python -m repro sweep --workloads lbm copy --axis wq=32,48,64 \\
+        --axis policy=baseline,bard-h --speedup-vs policy
     python -m repro sweep-wq --workloads lbm copy --sizes 32 48 64
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.analysis.report import characterization_report, comparison_report
@@ -28,7 +40,11 @@ from repro.analysis.tables import format_table
 from repro.config.presets import paper_8core, paper_16core, small_8core, \
     small_16core
 from repro.config.system import SystemConfig
-from repro.sim.runner import compare_policies, run_workload
+from repro.errors import ConfigError
+from repro.experiment import AXIS_MODIFIERS, Axis, ExperimentSpec, \
+    ResultSet, RunSpec, Session, make_axis
+from repro.experiment.resultset import RELATIVE_METRICS, valid_metric
+from repro.experiment.spec import BASELINE, INHERIT, policy_arg
 from repro.workloads.suites import ALL_WORKLOADS
 
 _PRESETS = {
@@ -42,7 +58,7 @@ _POLICY_CHOICES = ["baseline", "bard-e", "bard-c", "bard-h", "eager", "vwq"]
 
 
 def _policy_arg(name: str) -> Optional[str]:
-    return None if name == "baseline" else name
+    return policy_arg(name)
 
 
 def _build_config(args) -> SystemConfig:
@@ -55,7 +71,35 @@ def _build_config(args) -> SystemConfig:
         cfg = cfg.with_ideal_writes()
     if getattr(args, "refresh", False):
         cfg = cfg.with_refresh()
+    if getattr(args, "instructions", None) is not None:
+        if args.instructions <= 0:
+            raise ConfigError("--instructions must be positive")
+        cfg = replace(cfg, sim_instructions=args.instructions)
+    if getattr(args, "warmup", None) is not None:
+        if args.warmup < 0:
+            raise ConfigError("--warmup must be >= 0")
+        cfg = replace(cfg, warmup_instructions=args.warmup)
     return cfg
+
+
+def _session(args) -> Session:
+    return Session(cache_dir=getattr(args, "cache_dir", None),
+                   parallel=getattr(args, "parallel", 1),
+                   cache=not getattr(args, "no_cache", False))
+
+
+def _progress(done: int, total: int, spec: RunSpec) -> None:
+    print(f"[{done}/{total}] {spec.label}", file=sys.stderr)
+
+
+def _progress_fn(args):
+    if sys.stderr.isatty():
+        return _progress
+    return None
+
+
+def _emit_json(rs: ResultSet, metrics=()) -> None:
+    print(rs.to_json(metrics=metrics))
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -68,12 +112,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--device", choices=["x4", "x8"],
                         help="DDR5 device width")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--instructions", type=int, metavar="N",
+                        help="override per-core simulated instructions")
+    parser.add_argument("--warmup", type=int, metavar="N",
+                        help="override per-core warmup instructions")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="simulate fresh runs across N processes")
+    parser.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
+                        help="result cache directory "
+                             "(default: ~/.cache/repro)")
+    parser.add_argument("--no-cache", dest="no_cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--json", action="store_true",
+                        help="emit result records as JSON instead of tables")
 
 
 def _cmd_run(args) -> int:
     cfg = _build_config(args)
     cfg = cfg.with_writeback(_policy_arg(args.policy))
-    result = run_workload(cfg, args.workload, seed=args.seed)
+    spec = ExperimentSpec(workloads=args.workload, configs=cfg,
+                          seeds=args.seed, name=f"run:{args.workload}")
+    rs = _session(args).run(spec, progress=_progress_fn(args))
+    if args.json:
+        _emit_json(rs)
+        return 0
+    result = rs.only().result
     print(characterization_report([(args.workload, result)],
                                   title=f"run: {args.workload} "
                                         f"({args.policy})"))
@@ -85,46 +148,138 @@ def _cmd_compare(args) -> int:
     policies = [_policy_arg(p) for p in args.policies]
     if policies[0] is not None:
         policies.insert(0, None)
-    comp = compare_policies(cfg, args.workload, policies, seed=args.seed)
-    base = comp.results["baseline"]
-    for name, result in comp.results.items():
-        if name == "baseline":
+    # ExperimentSpec dedupes repeated policies (e.g. `--policies bard-h
+    # baseline`), so the baseline simulates exactly once.
+    spec = ExperimentSpec(workloads=args.workload, configs=cfg,
+                          policies=policies, seeds=args.seed,
+                          name=f"compare:{args.workload}")
+    rs = _session(args).run(spec, progress=_progress_fn(args))
+    if args.json:
+        _emit_json(rs)
+        return 0
+    base = rs.filter(policy=BASELINE).only().result
+    for obs in rs:
+        if obs.coords["policy"] == BASELINE:
             continue
-        print(comparison_report(base, result, workload=args.workload))
+        named = replace(obs.result, label=str(obs.coords["policy"]))
+        print(comparison_report(replace(base, label=BASELINE), named,
+                                workload=args.workload))
         print()
     return 0
 
 
 def _cmd_characterize(args) -> int:
     cfg = _build_config(args)
-    results = [
-        (wl, run_workload(cfg, wl, seed=args.seed))
-        for wl in args.workloads
-    ]
+    spec = ExperimentSpec(workloads=args.workloads, configs=cfg,
+                          seeds=args.seed, name="characterize")
+    rs = _session(args).run(spec, progress=_progress_fn(args))
+    if args.json:
+        _emit_json(rs)
+        return 0
+    results = [(str(obs.coords["workload"]), obs.result) for obs in rs]
     print(characterization_report(results))
+    return 0
+
+
+def _parse_axis(text: str):
+    name, eq, values = text.partition("=")
+    if not eq or not values:
+        raise ConfigError(f"--axis wants NAME=V1,V2,... (got {text!r})")
+    return name, [v for v in values.split(",") if v]
+
+
+def _cmd_sweep(args) -> int:
+    cfg = _build_config(args)
+    policies: object = INHERIT
+    axes: List[Axis] = []
+    seen_axes = set()
+    for text in args.axis or []:
+        name, values = _parse_axis(text)
+        if name in seen_axes:
+            raise ConfigError(f"duplicate --axis {name!r}")
+        seen_axes.add(name)
+        if name == "policy":
+            policies = [_policy_arg(v) for v in values]
+        elif name in AXIS_MODIFIERS:
+            axes.append(make_axis(name, values))
+        else:
+            raise ConfigError(
+                f"unknown axis {name!r}; choose from "
+                f"{sorted(AXIS_MODIFIERS)}")
+    seeds = args.seeds if args.seeds else [args.seed]
+    spec = ExperimentSpec(workloads=args.workloads, configs=cfg,
+                          policies=policies, seeds=seeds,
+                          axes=axes, name="sweep")
+    plan = spec.expand()
+
+    # Validate metrics and the speedup baseline BEFORE burning simulation
+    # time: a typo must fail in milliseconds, not after the grid ran.
+    metrics = list(args.metrics)
+    for name in metrics:
+        if not valid_metric(name):
+            raise ConfigError(f"unknown metric {name!r}")
+        if name in RELATIVE_METRICS and not args.speedup_vs:
+            raise ConfigError(
+                f"metric {name!r} needs --speedup-vs to define a baseline")
+    speedup = None
+    if args.speedup_vs:
+        axis, eq, label = args.speedup_vs.partition("=")
+        baseline: object = label if eq else BASELINE
+        if axis == "seed" and eq:
+            baseline = int(label)  # seed coordinates are ints
+        values = list(dict.fromkeys(
+            p.coords.get(axis) for p in plan.points))
+        if baseline not in values or len(values) < 2:
+            raise ConfigError(
+                f"--speedup-vs {args.speedup_vs}: axis {axis!r} must "
+                f"cover the baseline plus at least one other value "
+                f"(have {values})")
+        speedup = (axis, baseline)
+
+    rs = _session(args).run(plan, progress=_progress_fn(args))
+    if speedup is not None:
+        rs = rs.speedup_vs(*speedup)
+        if "speedup_pct" not in metrics:
+            metrics.append("speedup_pct")
+    if args.json:
+        _emit_json(rs, metrics)
+        return 0
+    axis_names = list(rs[0].coords) if len(rs) else []
+    rows = [
+        tuple(record[name] for name in axis_names)
+        + tuple(f"{record[m]:.3f}" for m in metrics)
+        for record in rs.to_records(metrics)
+    ]
+    print(format_table(axis_names + metrics, rows,
+                       title=f"sweep ({len(rs)} points)"))
     return 0
 
 
 def _cmd_sweep_wq(args) -> int:
     cfg = _build_config(args)
-    reference = {
-        wl: run_workload(cfg, wl, seed=args.seed)
-        for wl in args.workloads
-    }
+    session = _session(args)
+    ref = session.run(
+        ExperimentSpec(workloads=args.workloads, configs=cfg,
+                       seeds=args.seed, name="sweep-wq:reference"),
+        progress=_progress_fn(args))
+    reference = {obs.coords["workload"]: obs.result for obs in ref}
+    spec = ExperimentSpec(workloads=args.workloads, configs=cfg,
+                          policies=["baseline", "bard-h"], seeds=args.seed,
+                          axes=[make_axis("wq", args.sizes)],
+                          name="sweep-wq")
+    rs = session.run(spec, progress=_progress_fn(args))
+    if args.json:
+        _emit_json(rs)
+        return 0
     rows = []
     for size in args.sizes:
-        sized = cfg.with_wq(size)
-        for label, final_cfg in (
-            ("baseline", sized),
-            ("bard-h", sized.with_writeback("bard-h")),
-        ):
+        for label in ("baseline", "bard-h"):
+            sub = rs.filter(wq=str(size), policy=label)
             speedups = [
-                run_workload(final_cfg, wl, seed=args.seed)
-                .speedup_pct(reference[wl])
-                for wl in args.workloads
+                obs.result.speedup_pct(reference[obs.coords["workload"]])
+                for obs in sub
             ]
-            rows.append((size, label,
-                         sum(speedups) / len(speedups)))
+            rows.append((size, label, sum(speedups) / len(speedups)))
     print(format_table(["WQ size", "policy", "mean speedup %"], rows,
                        title="write-queue sweep vs 48-entry baseline "
                              "(cf. paper Fig. 17)"))
@@ -132,9 +287,18 @@ def _cmd_sweep_wq(args) -> int:
 
 
 def _cmd_list(args) -> int:
+    if getattr(args, "json", False):
+        print(json.dumps({
+            "workloads": list(ALL_WORKLOADS),
+            "policies": _POLICY_CHOICES,
+            "presets": sorted(_PRESETS),
+            "axes": sorted(AXIS_MODIFIERS),
+        }, indent=2))
+        return 0
     print("workloads:", " ".join(ALL_WORKLOADS))
     print("policies: ", " ".join(_POLICY_CHOICES))
     print("presets:  ", " ".join(sorted(_PRESETS)))
+    print("axes:     ", " ".join(sorted(AXIS_MODIFIERS)))
     return 0
 
 
@@ -169,6 +333,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_chr)
     p_chr.set_defaults(fn=_cmd_characterize)
 
+    p_sw = sub.add_parser("sweep",
+                          help="grid sweep over arbitrary axes")
+    p_sw.add_argument("--workloads", nargs="+", choices=ALL_WORKLOADS,
+                      default=["lbm"])
+    p_sw.add_argument("--axis", action="append", metavar="NAME=V1,V2",
+                      help="sweep axis, repeatable (policy, wq, device, "
+                           "replacement, drain, refresh, pbpl)")
+    p_sw.add_argument("--seeds", nargs="+", type=int, default=None,
+                      help="seed list (default: the --seed value)")
+    p_sw.add_argument("--metrics", nargs="+",
+                      default=["mean_ipc", "write_blp",
+                               "time_writing_pct"],
+                      help="RunResult metrics to report")
+    p_sw.add_argument("--speedup-vs", dest="speedup_vs",
+                      metavar="AXIS[=LABEL]",
+                      help="also report speedup vs a baseline along AXIS "
+                           "(default label: baseline)")
+    _add_common(p_sw)
+    p_sw.set_defaults(fn=_cmd_sweep)
+
     p_wq = sub.add_parser("sweep-wq", help="write-queue size sweep")
     p_wq.add_argument("--workloads", nargs="+", choices=ALL_WORKLOADS,
                       default=["lbm", "copy"])
@@ -178,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_wq.set_defaults(fn=_cmd_sweep_wq)
 
     p_ls = sub.add_parser("list", help="list workloads/policies/presets")
+    p_ls.add_argument("--json", action="store_true")
     p_ls.set_defaults(fn=_cmd_list)
 
     return parser
@@ -185,7 +370,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (ConfigError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,50 @@
+"""Declarative experiment layer: spec -> plan -> execution -> results.
+
+The grid every paper artifact needs - workloads x configs x policies x
+seeds, with optional extra sweep axes - is declared once as an
+:class:`ExperimentSpec`, expanded into a deduplicated :class:`RunPlan`,
+executed by a :class:`Session` (serial or ``parallel=N`` processes, with
+a persistent content-hashed result cache), and queried as a
+:class:`ResultSet`::
+
+    from repro import ExperimentSpec, Session, small_8core
+
+    spec = ExperimentSpec(workloads=["lbm", "copy"],
+                          configs=small_8core(),
+                          policies=["baseline", "bard-h"])
+    rs = Session(parallel=4).run(spec)
+    print(rs.speedup_vs("policy").filter(policy="bard-h")
+            .gmean_speedup_pct())
+"""
+
+from repro.experiment.cache import CACHE_DIR_ENV, ResultCache, \
+    default_cache_dir
+from repro.experiment.resultset import DEFAULT_METRICS, Observation, \
+    ResultSet
+from repro.experiment.serialize import result_from_dict, result_to_dict
+from repro.experiment.session import Session, SessionStats, simulate
+from repro.experiment.spec import AXIS_MODIFIERS, BASELINE, INHERIT, Axis, \
+    ExperimentSpec, GridPoint, RunPlan, RunSpec, make_axis
+
+__all__ = [
+    "AXIS_MODIFIERS",
+    "Axis",
+    "BASELINE",
+    "CACHE_DIR_ENV",
+    "DEFAULT_METRICS",
+    "ExperimentSpec",
+    "GridPoint",
+    "INHERIT",
+    "Observation",
+    "ResultCache",
+    "ResultSet",
+    "RunPlan",
+    "RunSpec",
+    "Session",
+    "SessionStats",
+    "default_cache_dir",
+    "make_axis",
+    "result_from_dict",
+    "result_to_dict",
+    "simulate",
+]

@@ -1,0 +1,83 @@
+"""Persistent on-disk result cache.
+
+Results live as one JSON file per unique run, named by the run's content
+hash, under ``~/.cache/repro`` (overridable via ``REPRO_CACHE_DIR`` or a
+caller-supplied directory).  Files are written atomically; unreadable,
+corrupt, or stale-format files simply read as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.experiment.serialize import result_from_dict, result_to_dict
+from repro.experiment.spec import RunSpec
+from repro.sim.results import RunResult
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultCache:
+    """Content-addressed store of finished runs."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory \
+            else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        # Any malformed file - unreadable, non-JSON, wrong shape, or
+        # drifted inner fields - reads as a miss and gets re-simulated.
+        try:
+            payload = json.loads(path.read_text())
+            return result_from_dict(payload.get("payload", {}))
+        except (OSError, ValueError, AttributeError, TypeError, KeyError):
+            return None
+
+    def put(self, key: str, spec: RunSpec, result: RunResult) -> None:
+        """Store a finished run; failures degrade to a non-persistent cache.
+
+        A full disk or unwritable directory must never lose the result the
+        caller just spent a simulation computing.
+        """
+        body = json.dumps({
+            "key": key,
+            "spec": spec.describe(),
+            "payload": result_to_dict(result),
+        })
+        tmp = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: concurrent workers may race on the same key.
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                handle.write(body)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()

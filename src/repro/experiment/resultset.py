@@ -1,0 +1,222 @@
+"""Queryable collections of finished runs.
+
+A :class:`ResultSet` holds one :class:`Observation` per experiment grid
+point - its coordinates, run spec, and measured
+:class:`~repro.sim.results.RunResult` - and supports the aggregation
+vocabulary of the paper's figures and tables: ``filter`` by coordinate,
+``group_by`` an axis, ``speedup_vs`` a baseline along an axis, geometric
+means, and export to records/JSON.  A whole figure becomes one
+expression, e.g.::
+
+    rs.speedup_vs("policy").filter(policy="bard-h").gmean_speedup_pct()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, \
+    Optional, Sequence, Tuple, Union
+
+from repro.analysis.metrics import amean, gmean
+from repro.experiment.spec import BASELINE, GridPoint, RunSpec
+from repro.sim.results import RunResult
+
+#: Metrics exported by default from ``to_records``/``to_json``.
+DEFAULT_METRICS: Tuple[str, ...] = (
+    "mean_ipc", "mpki", "wpki", "write_blp", "time_writing_pct",
+)
+
+Criterion = Union[object, Callable[[object], bool]]
+
+#: Metrics computed relative to a baseline attached by ``speedup_vs``.
+RELATIVE_METRICS = ("weighted_speedup", "speedup_pct")
+
+
+def valid_metric(name: str) -> bool:
+    """Whether ``name`` resolves to a scalar RunResult metric.
+
+    Only numeric fields qualify - structured fields (``llc``, ``dram``,
+    ``ipc``, ...) are not exportable metrics.
+    """
+    if name in RELATIVE_METRICS:
+        return True
+    for f in fields(RunResult):
+        if f.name == name:
+            return f.type in ("int", "float")
+    return isinstance(getattr(RunResult, name, None), property)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One grid point with its measured result.
+
+    ``baseline`` is attached by :meth:`ResultSet.speedup_vs` and enables
+    the relative metrics (``weighted_speedup``, ``speedup_pct``).
+    """
+
+    coords: Mapping[str, object]
+    spec: RunSpec
+    result: RunResult
+    baseline: Optional[RunResult] = field(default=None, compare=False)
+
+    def value(self, metric: str) -> float:
+        """Look up ``metric`` on the result (or relative to the baseline)."""
+        if metric in RELATIVE_METRICS:
+            if self.baseline is None:
+                raise ValueError(
+                    f"{metric!r} needs a baseline; call speedup_vs() first")
+            return getattr(self.result, metric)(self.baseline)
+        value = getattr(self.result, metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{metric!r} is not a scalar metric")
+        return value
+
+
+class ResultSet:
+    """An ordered, filterable collection of observations."""
+
+    def __init__(self, observations: Iterable[Observation],
+                 name: str = "") -> None:
+        self.observations: Tuple[Observation, ...] = tuple(observations)
+        self.name = name
+
+    # -- container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self.observations)
+
+    def __getitem__(self, index: int) -> Observation:
+        return self.observations[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultSet({self.name or 'unnamed'}, n={len(self)})"
+
+    # -- selection -----------------------------------------------------
+
+    def filter(self, **criteria: Criterion) -> "ResultSet":
+        """Observations matching every criterion.
+
+        A criterion may be a scalar (equality), a list/tuple/set
+        (membership), or a callable predicate over the coordinate value.
+        """
+        def matches(obs: Observation) -> bool:
+            for axis, want in criteria.items():
+                have = obs.coords.get(axis)
+                if callable(want):
+                    if not want(have):
+                        return False
+                elif isinstance(want, (list, tuple, set, frozenset)):
+                    if have not in want:
+                        return False
+                elif have != want:
+                    return False
+            return True
+
+        return ResultSet(filter(matches, self.observations), self.name)
+
+    def group_by(self, axis: str) -> "Dict[object, ResultSet]":
+        """Split along one axis; groups keep first-seen order."""
+        groups: Dict[object, List[Observation]] = {}
+        for obs in self.observations:
+            groups.setdefault(obs.coords.get(axis), []).append(obs)
+        return {value: ResultSet(members, self.name)
+                for value, members in groups.items()}
+
+    def axis_values(self, axis: str) -> List[object]:
+        """Distinct values of ``axis``, first-seen order."""
+        return list(dict.fromkeys(
+            obs.coords.get(axis) for obs in self.observations))
+
+    def only(self) -> Observation:
+        """The single observation; error when the set isn't singular."""
+        if len(self.observations) != 1:
+            raise ValueError(
+                f"expected exactly one observation, have "
+                f"{len(self.observations)}")
+        return self.observations[0]
+
+    # -- relative metrics ----------------------------------------------
+
+    def speedup_vs(self, axis: str = "policy",
+                   baseline: object = BASELINE) -> "ResultSet":
+        """Pair every non-baseline observation with its baseline run.
+
+        The baseline is the observation sharing every coordinate except
+        ``axis``, where it has the value ``baseline``.  Returns the
+        non-baseline observations with ``baseline`` attached, making
+        ``speedup_pct``/``weighted_speedup`` available as metrics.
+        """
+        def anchor(obs: Observation) -> Tuple:
+            return tuple(sorted(
+                (k, v) for k, v in obs.coords.items() if k != axis))
+
+        baselines: Dict[Tuple, RunResult] = {}
+        for obs in self.observations:
+            if obs.coords.get(axis) == baseline:
+                baselines[anchor(obs)] = obs.result
+        paired: List[Observation] = []
+        for obs in self.observations:
+            if obs.coords.get(axis) == baseline:
+                continue
+            ref = baselines.get(anchor(obs))
+            if ref is None:
+                raise ValueError(
+                    f"no {axis}={baseline!r} baseline for point "
+                    f"{dict(obs.coords)}")
+            paired.append(replace(obs, baseline=ref))
+        return ResultSet(paired, self.name)
+
+    # -- aggregation ---------------------------------------------------
+
+    def metric(self, name: str) -> List[float]:
+        return [obs.value(name) for obs in self.observations]
+
+    def gmean(self, metric: str = "weighted_speedup") -> float:
+        return gmean(self.metric(metric))
+
+    def amean(self, metric: str) -> float:
+        return amean(self.metric(metric))
+
+    def gmean_speedup_pct(self) -> float:
+        """Geometric-mean speedup (%) over attached baselines."""
+        return 100.0 * (self.gmean("weighted_speedup") - 1.0)
+
+    # -- export --------------------------------------------------------
+
+    def to_records(self, metrics: Sequence[str] = ()) \
+            -> List[Dict[str, object]]:
+        """One flat dict per observation: coordinates plus metric values."""
+        names = tuple(metrics) or DEFAULT_METRICS
+        records = []
+        for obs in self.observations:
+            record: Dict[str, object] = dict(obs.coords)
+            record["run_key"] = obs.spec.key()
+            for name in names:
+                record[name] = obs.value(name)
+            records.append(record)
+        return records
+
+    def to_json(self, path: Optional[Union[str, Path]] = None,
+                metrics: Sequence[str] = ()) -> str:
+        text = json.dumps(self.to_records(metrics), indent=2)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    def results(self) -> List[RunResult]:
+        return [obs.result for obs in self.observations]
+
+
+def from_points(points: Sequence[GridPoint],
+                results: Mapping[str, RunResult],
+                name: str = "") -> ResultSet:
+    """Assemble a ResultSet from plan points and keyed results."""
+    return ResultSet(
+        (Observation(coords=p.coords, spec=p.spec,
+                     result=results[p.spec.key()]) for p in points),
+        name=name)

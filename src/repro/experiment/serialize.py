@@ -1,0 +1,52 @@
+"""JSON (de)serialisation of :class:`~repro.sim.results.RunResult`.
+
+Every stats object a run carries is a plain dataclass of counters, so
+``dataclasses.asdict`` gives the wire form; reconstruction rebuilds the
+nested dataclasses explicitly.  A format version guards cached files
+against schema drift - an unknown version is treated as a cache miss, not
+an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.cache.cache import CacheStats
+from repro.cache.writeback.base import WritebackPolicyStats
+from repro.core.bard import BardAccuracy
+from repro.dram.channel import ChannelStats
+from repro.dram.stats import DrainEpisode, SubChannelStats
+from repro.sim.results import RunResult
+
+#: Bump when the RunResult schema changes incompatibly.
+RESULT_FORMAT = 1
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Pure-JSON form of a run result."""
+    return {"format": RESULT_FORMAT,
+            "result": dataclasses.asdict(result)}
+
+
+def result_from_dict(payload: Dict[str, Any]) -> Optional[RunResult]:
+    """Rebuild a result; ``None`` if the payload is from another format."""
+    if not isinstance(payload, dict) \
+            or payload.get("format") != RESULT_FORMAT:
+        return None
+    data = dict(payload["result"])
+    data["llc"] = CacheStats(**data["llc"])
+    data["dram"] = _subchannel(data["dram"])
+    data["channels"] = [ChannelStats(**c) for c in data["channels"]]
+    if data.get("wb_stats") is not None:
+        data["wb_stats"] = WritebackPolicyStats(**data["wb_stats"])
+    if data.get("bard_accuracy") is not None:
+        data["bard_accuracy"] = BardAccuracy(**data["bard_accuracy"])
+    return RunResult(**data)
+
+
+def _subchannel(data: Dict[str, Any]) -> SubChannelStats:
+    episodes: List[DrainEpisode] = [
+        DrainEpisode(**e) for e in data.pop("episodes", [])
+    ]
+    return SubChannelStats(episodes=episodes, **data)

@@ -1,0 +1,148 @@
+"""Experiment execution: plan -> (cached | simulated) -> ResultSet.
+
+A :class:`Session` owns the run caches and the execution strategy.  Each
+unique run in a plan is satisfied from, in order: the in-memory memo
+(shared across every ``run``/``run_one`` call on the session), the
+on-disk :class:`~repro.experiment.cache.ResultCache`, or a fresh
+simulation - serially, or across a ``multiprocessing`` pool when
+``parallel > 1``.  Simulations are deterministic in (config, workload,
+seed), so serial and parallel execution produce identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.config.system import SystemConfig
+from repro.experiment.cache import ResultCache
+from repro.experiment.resultset import ResultSet, from_points
+from repro.experiment.spec import ExperimentSpec, RunPlan, RunSpec
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.workloads.suites import trace_factory
+
+ProgressFn = Callable[[int, int, RunSpec], None]
+
+
+def simulate(spec: RunSpec) -> RunResult:
+    """Execute one run spec (the single entry point to the simulator)."""
+    factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
+    system = System(spec.config, factory)
+    return system.run(label=spec.label or spec.workload)
+
+
+def _simulate_keyed(item: Tuple[str, RunSpec]) -> Tuple[str, RunResult]:
+    key, spec = item
+    return key, simulate(spec)
+
+
+@dataclass
+class SessionStats:
+    """Where this session's runs came from (accumulated across calls)."""
+
+    planned: int = 0
+    unique: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    simulated: int = 0
+
+
+class Session:
+    """Executes experiment plans with memoisation and disk caching.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the persistent result cache.  ``None`` selects the
+        default (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    parallel:
+        Number of worker processes for fresh simulations (1 = in-process).
+    cache:
+        Disable to skip the on-disk cache entirely (the in-memory memo
+        still deduplicates within the session).
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
+                 parallel: int = 1, cache: bool = True) -> None:
+        self.parallel = max(1, int(parallel))
+        self.cache: Optional[ResultCache] = \
+            ResultCache(cache_dir) if cache else None
+        self.stats = SessionStats()
+        self._memo: Dict[str, RunResult] = {}
+
+    # -- plan execution ------------------------------------------------
+
+    def run(self, experiment: Union[ExperimentSpec, RunPlan],
+            progress: Optional[ProgressFn] = None) -> ResultSet:
+        """Execute every unique run of the experiment; aggregate results."""
+        plan = experiment.expand() \
+            if isinstance(experiment, ExperimentSpec) else experiment
+        self.stats.planned += len(plan)
+        self.stats.unique += plan.unique_count
+
+        missing: List[Tuple[str, RunSpec]] = []
+        for key, spec in plan.runs.items():
+            if key in self._memo:
+                self.stats.memo_hits += 1
+                continue
+            cached = self.cache.get(key) if self.cache else None
+            if cached is not None:
+                self.stats.disk_hits += 1
+                self._memo[key] = cached
+            else:
+                missing.append((key, spec))
+
+        total = len(missing)
+        for done, (key, result) in enumerate(
+                self._execute(missing), start=1):
+            self.stats.simulated += 1
+            self._memo[key] = result
+            if self.cache:
+                self.cache.put(key, plan.runs[key], result)
+            if progress:
+                progress(done, total, plan.runs[key])
+
+        name = plan.spec.name if plan.spec else ""
+        return from_points(plan.points, self._memo, name=name)
+
+    def _execute(self, missing: List[Tuple[str, RunSpec]]):
+        if not missing:
+            return
+        workers = min(self.parallel, len(missing))
+        if workers <= 1:
+            for item in missing:
+                yield _simulate_keyed(item)
+            return
+        with multiprocessing.Pool(processes=workers) as pool:
+            for keyed in pool.imap_unordered(_simulate_keyed, missing):
+                yield keyed
+
+    # -- single runs ---------------------------------------------------
+
+    def run_one(self, config: SystemConfig, workload: str, seed: int = 7,
+                label: Optional[str] = None) -> RunResult:
+        """One simulation through the same memo/cache path as plans."""
+        spec = RunSpec(workload=workload, config=config, seed=seed,
+                       label=label or workload)
+        key = spec.key()
+        self.stats.planned += 1
+        self.stats.unique += 1
+        if key in self._memo:
+            self.stats.memo_hits += 1
+            result = self._memo[key]
+        else:
+            result = self.cache.get(key) if self.cache else None
+            if result is not None:
+                self.stats.disk_hits += 1
+            else:
+                result = simulate(spec)
+                self.stats.simulated += 1
+                if self.cache:
+                    self.cache.put(key, spec, result)
+            self._memo[key] = result
+        if label and result.label != label:
+            result = replace(result, label=label)
+        return result

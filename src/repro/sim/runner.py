@@ -1,21 +1,26 @@
 """High-level run orchestration: single runs, comparisons, and sweeps.
 
-``run_workload`` simulates one named workload (ratemode or mix) under one
-configuration.  ``compare_policies`` runs the same workload under several
-LLC writeback policies and reports speedups versus the first (baseline)
-entry - the building block for paper Figs. 10, 11, 15 and 17.
+These helpers are thin shims over the declarative experiment layer
+(:mod:`repro.experiment`): ``run_workload`` simulates one named workload
+under one configuration, and ``compare_policies`` runs the same workload
+under several LLC writeback policies and reports speedups versus the
+first (baseline) entry - the building block for paper Figs. 10, 11, 15
+and 17.  Grid-shaped studies should use
+:class:`~repro.experiment.ExperimentSpec` directly for deduplication,
+parallelism, and caching.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence
 
 from repro.analysis.metrics import gmean
 from repro.config.system import SystemConfig
 from repro.sim.results import RunResult
-from repro.sim.system import System
-from repro.workloads.suites import trace_factory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiment.session import Session
 
 
 def run_workload(
@@ -25,9 +30,13 @@ def run_workload(
     seed: int = 7,
 ) -> RunResult:
     """Simulate ``workload`` (a suite name from :mod:`repro.workloads`)."""
-    factory = trace_factory(workload, config, seed=seed)
-    system = System(config, factory)
-    return system.run(label=label or f"{workload}")
+    # Imported here: repro.sim must stay importable without pulling the
+    # experiment layer (which itself builds on repro.sim).
+    from repro.experiment.session import Session
+
+    session = Session(cache=False)
+    return session.run_one(config, workload, seed=seed,
+                           label=label or f"{workload}")
 
 
 @dataclass
@@ -47,17 +56,28 @@ def compare_policies(
     workload: str,
     policies: Sequence[Optional[str]],
     seed: int = 7,
+    session: Optional["Session"] = None,
 ) -> PolicyComparison:
-    """Run ``workload`` under each policy; first entry is the baseline."""
-    results: Dict[str, RunResult] = {}
-    names: List[str] = []
-    for policy in policies:
-        name = policy or "baseline"
-        cfg = config.with_writeback(policy)
-        results[name] = run_workload(cfg, workload, label=name, seed=seed)
-        names.append(name)
+    """Run ``workload`` under each policy; first entry is the baseline.
+
+    Repeated policies are deduplicated (one simulation each) while the
+    baseline-first order is preserved.
+    """
+    from repro.experiment.session import Session
+    from repro.experiment.spec import ExperimentSpec, policy_label
+
+    spec = ExperimentSpec(workloads=workload, configs=config,
+                          policies=policies, seeds=seed,
+                          name=f"compare:{workload}")
+    session = session or Session(cache=False)
+    rs = session.run(spec)
+    results: Dict[str, RunResult] = {
+        str(obs.coords["policy"]):
+            replace(obs.result, label=str(obs.coords["policy"]))
+        for obs in rs
+    }
     return PolicyComparison(workload=workload, results=results,
-                            baseline=names[0])
+                            baseline=policy_label(policies[0]))
 
 
 def gmean_speedups(

@@ -1,0 +1,1 @@
+"""Test package: lets modules share fixtures via ``from .conftest import``."""

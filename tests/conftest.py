@@ -26,6 +26,12 @@ def tiny_config(**overrides) -> SystemConfig:
     return SystemConfig(**defaults)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the experiment layer's disk cache out of ~/.cache during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def tiny():
     return tiny_config()

@@ -1,0 +1,92 @@
+"""ResultSet query/aggregation vocabulary."""
+
+import json
+
+import pytest
+
+from repro.experiment import ExperimentSpec, Session
+
+from .conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def rs():
+    spec = ExperimentSpec(workloads=["lbm", "copy"],
+                          configs=tiny_config(),
+                          policies=["baseline", "bard-h"],
+                          name="rs-fixture")
+    return Session(cache=False).run(spec)
+
+
+class TestFilterGroup:
+    def test_filter_scalar(self, rs):
+        sub = rs.filter(workload="lbm")
+        assert len(sub) == 2
+        assert all(o.coords["workload"] == "lbm" for o in sub)
+
+    def test_filter_membership_and_callable(self, rs):
+        assert len(rs.filter(policy=["bard-h"])) == 2
+        assert len(rs.filter(workload=lambda w: w.startswith("l"))) == 2
+
+    def test_filter_no_match(self, rs):
+        assert len(rs.filter(workload="bwaves")) == 0
+
+    def test_group_by(self, rs):
+        groups = rs.group_by("policy")
+        assert list(groups) == ["baseline", "bard-h"]
+        assert all(len(g) == 2 for g in groups.values())
+
+    def test_axis_values(self, rs):
+        assert rs.axis_values("workload") == ["lbm", "copy"]
+
+    def test_only_rejects_plural(self, rs):
+        with pytest.raises(ValueError):
+            rs.only()
+
+
+class TestSpeedups:
+    def test_speedup_vs_pairs_baselines(self, rs):
+        sp = rs.speedup_vs("policy")
+        assert len(sp) == 2
+        for obs in sp:
+            base = rs.filter(policy="baseline",
+                             workload=obs.coords["workload"]).only()
+            assert obs.value("speedup_pct") == pytest.approx(
+                obs.result.speedup_pct(base.result))
+
+    def test_gmean_speedup_pct(self, rs):
+        sp = rs.speedup_vs("policy").filter(policy="bard-h")
+        val = sp.gmean_speedup_pct()
+        assert isinstance(val, float)
+
+    def test_missing_baseline_raises(self, rs):
+        with pytest.raises(ValueError):
+            rs.filter(policy="bard-h").speedup_vs("policy")
+
+    def test_speedup_metric_needs_baseline(self, rs):
+        with pytest.raises(ValueError):
+            rs[0].value("speedup_pct")
+
+
+class TestExport:
+    def test_to_records_default_metrics(self, rs):
+        records = rs.to_records()
+        assert len(records) == 4
+        assert {"workload", "policy", "mean_ipc", "mpki",
+                "run_key"} <= set(records[0])
+
+    def test_to_records_custom_metric(self, rs):
+        records = rs.speedup_vs("policy").to_records(["speedup_pct"])
+        assert all("speedup_pct" in r for r in records)
+
+    def test_non_scalar_metric_rejected(self, rs):
+        with pytest.raises(ValueError):
+            rs.to_records(["power_report"])
+
+    def test_to_json_round_trips(self, rs, tmp_path):
+        path = tmp_path / "out.json"
+        text = rs.to_json(path, metrics=["mean_ipc"])
+        assert json.loads(text) == json.loads(path.read_text())
+
+    def test_metric_vector(self, rs):
+        assert len(rs.metric("mean_ipc")) == 4
