@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Simulator-core performance harness: emits ``BENCH_simcore.json``.
+
+Times the three representative scenarios defined in
+:mod:`repro.perf.scenarios` through the experiment layer's ``Session``
+(cache disabled - every timed run is a real simulation) and writes the
+throughput trajectory file at the repository root.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py            # full
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --check 1.5
+
+``--check R`` exits non-zero unless the measured geomean is at least
+``R`` times the checked-in seed baseline (same-host comparisons only;
+see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_seed.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
+
+
+def _load_baseline():
+    try:
+        with open(BASELINE_PATH) as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the simulator-core perf scenarios and emit "
+                    "BENCH_simcore.json.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small instruction budget (CI smoke; numbers "
+                             "are noisier and not baseline-comparable)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repeats per scenario; best is kept "
+                             "(default 2)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the report "
+                             "(default: BENCH_simcore.json at repo root)")
+    parser.add_argument("--check", type=float, metavar="RATIO",
+                        default=None,
+                        help="fail unless geomean events/sec >= RATIO x "
+                             "the seed baseline")
+    args = parser.parse_args(argv)
+
+    from repro.perf import SCENARIOS, bench_report, measure_scenario
+
+    mode = "quick" if args.quick else "full"
+    entries = []
+    for scenario in SCENARIOS:
+        print(f"[{scenario.name}] {scenario.workload} on {scenario.preset} "
+              f"({mode}, {args.repeats} repeats) ...", flush=True)
+        entry = measure_scenario(scenario, quick=args.quick,
+                                 repeats=args.repeats)
+        print(f"  {entry['events']} events in {entry['best_seconds']}s "
+              f"-> {entry['events_per_sec']:,} events/sec")
+        entries.append(entry)
+
+    report = bench_report(entries, mode=mode, repeats=args.repeats,
+                          baseline=_load_baseline())
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    gm = report["geomean_events_per_sec"]
+    print(f"geomean: {gm:,} events/sec -> {args.output}")
+    baseline = report.get("baseline")
+    if baseline and baseline.get("speedup_vs_baseline") is not None:
+        print(f"speedup vs seed baseline: "
+              f"{baseline['speedup_vs_baseline']}x")
+
+    if args.check is not None:
+        if not baseline or baseline.get("speedup_vs_baseline") is None:
+            print("--check requested but no baseline available",
+                  file=sys.stderr)
+            return 2
+        if baseline["speedup_vs_baseline"] < args.check:
+            print(f"FAIL: {baseline['speedup_vs_baseline']}x < "
+                  f"required {args.check}x", file=sys.stderr)
+            return 1
+        print(f"PASS: >= {args.check}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,14 +21,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Protocol, Tuple
+from typing import Deque, Dict, List, Optional, Protocol, Tuple
 
-from repro.cache.line import CacheLine, CacheSet
+from repro.cache.line import CacheSet
 from repro.cache.mshr import DoneCallback, MSHREntry
 from repro.cache.replacement import ReplacementPolicy, pc_signature
 from repro.clock import TICKS_PER_CPU_CYCLE
 from repro.dram.commands import LINE_BITS, LINE_SIZE
 from repro.errors import ConfigError
+
+#: Mask clearing the block-offset bits of a physical address.
+_LINE_MASK = ~(LINE_SIZE - 1)
 
 
 class LowerLevel(Protocol):
@@ -101,6 +104,7 @@ class Cache:
             raise ConfigError(f"{name}: set count must be a power of two")
         self.ways = ways
         self.hit_latency_ticks = hit_latency * TICKS_PER_CPU_CYCLE
+        self._set_mask = self.num_sets - 1
         self.mshr_count = mshr_count
         self.repl = replacement
         self.engine = engine
@@ -110,6 +114,13 @@ class Cache:
         self.stats = CacheStats()
 
         self.sets = [CacheSet(ways) for _ in range(self.num_sets)]
+        # Resident-line index: one {line_addr: way} dict per set, kept in
+        # lockstep with the line array by _install/_evict.  Tag lookup is
+        # the most frequent cache operation, and the dict makes it O(1)
+        # instead of a scan over the ways.
+        self._tags: List[Dict[int, int]] = [
+            {} for _ in range(self.num_sets)
+        ]
         self.mshr: Dict[int, MSHREntry] = {}
         self._outstanding = 0
         self._issue_queue: Deque[int] = deque()
@@ -122,15 +133,15 @@ class Cache:
     # ------------------------------------------------------------------
 
     def line_addr(self, addr: int) -> int:
-        return addr & ~(LINE_SIZE - 1)
+        return addr & _LINE_MASK
 
     def set_index(self, line_addr: int) -> int:
-        return (line_addr >> LINE_BITS) & (self.num_sets - 1)
+        return (line_addr >> LINE_BITS) & self._set_mask
 
     def find_line(self, line_addr: int) -> Optional[Tuple[int, int]]:
         """(set_idx, way) for a resident line, else None."""
-        set_idx = self.set_index(line_addr)
-        way = self.sets[set_idx].find(line_addr)
+        set_idx = (line_addr >> LINE_BITS) & self._set_mask
+        way = self._tags[set_idx].get(line_addr)
         if way is None:
             return None
         return set_idx, way
@@ -150,36 +161,48 @@ class Cache:
         is_prefetch: bool = False,
     ) -> None:
         """Access one line; ``on_done(tick)`` fires when data is available."""
-        la = self.line_addr(addr)
-        set_idx = self.set_index(la)
-        cset = self.sets[set_idx]
-        self.stats.accesses += 1
+        la = addr & _LINE_MASK
+        set_idx = (la >> LINE_BITS) & self._set_mask
+        stats = self.stats
+        stats.accesses += 1
         if is_prefetch:
-            self.stats.prefetch_accesses += 1
+            stats.prefetch_accesses += 1
 
-        way = cset.find(la)
+        way = self._tags[set_idx].get(la)
         if way is not None:
-            self._on_hit(set_idx, way, is_write, pc, now, is_prefetch)
+            hit_line = self.sets[set_idx].lines[way]
+            stats.hits += 1
+            hit_line.reused = True
+            wb_policy = self.wb_policy
+            if not is_prefetch:
+                self.repl.on_hit(set_idx, way, pc)
+            if is_write and not hit_line.dirty:
+                hit_line.dirty = True
+                if wb_policy is not None:
+                    wb_policy.on_dirty(la)
+            if wb_policy is not None and not is_prefetch:
+                wb_policy.on_hit(set_idx, way, now)
             if on_done is not None:
-                self.engine.schedule(now + self.hit_latency_ticks,
-                                     lambda: on_done(now + self.hit_latency_ticks))
-            self._run_prefetcher(addr, pc, hit=True, now=now,
-                                 is_prefetch=is_prefetch)
+                done_at = now + self.hit_latency_ticks
+                self.engine.schedule(done_at, on_done, done_at)
+            if self.prefetcher is not None and not is_prefetch:
+                self._run_prefetcher(addr, pc, hit=True, now=now,
+                                     is_prefetch=is_prefetch)
             return
 
         # Miss: merge into an outstanding MSHR or allocate a new one.
-        self.stats.misses += 1
+        stats.misses += 1
         if is_prefetch:
-            self.stats.prefetch_misses += 1
+            stats.prefetch_misses += 1
         elif is_write:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
         else:
-            self.stats.read_misses += 1
+            stats.read_misses += 1
 
         entry = self.mshr.get(la)
         if entry is not None:
             entry.merge(is_write, is_prefetch, on_done)
-            self.stats.mshr_merges += 1
+            stats.mshr_merges += 1
         else:
             entry = MSHREntry(
                 line_addr=la,
@@ -193,32 +216,19 @@ class Cache:
                 entry.waiters.append(on_done)
             self.mshr[la] = entry
             self._try_issue(la, now)
-        self._run_prefetcher(addr, pc, hit=False, now=now,
-                             is_prefetch=is_prefetch)
-
-    def _on_hit(self, set_idx: int, way: int, is_write: bool, pc: int,
-                now: int, is_prefetch: bool) -> None:
-        line = self.sets[set_idx].lines[way]
-        self.stats.hits += 1
-        line.reused = True
-        if not is_prefetch:
-            self.repl.on_hit(set_idx, way, pc)
-        if is_write and not line.dirty:
-            line.dirty = True
-            if self.wb_policy is not None:
-                self.wb_policy.on_dirty(line.line_addr)
-        if self.wb_policy is not None and not is_prefetch:
-            self.wb_policy.on_hit(set_idx, way, now)
+        if self.prefetcher is not None and not is_prefetch:
+            self._run_prefetcher(addr, pc, hit=False, now=now,
+                                 is_prefetch=is_prefetch)
 
     def _run_prefetcher(self, addr: int, pc: int, hit: bool, now: int,
                         is_prefetch: bool) -> None:
         if self.prefetcher is None or is_prefetch:
             return
         for target in self.prefetcher.on_access(addr, pc, hit):
-            tla = self.line_addr(target)
-            if tla == self.line_addr(addr):
+            tla = target & _LINE_MASK
+            if tla == addr & _LINE_MASK:
                 continue
-            if self.sets[self.set_index(tla)].find(tla) is not None:
+            if tla in self._tags[(tla >> LINE_BITS) & self._set_mask]:
                 continue
             if tla in self.mshr:
                 continue
@@ -238,19 +248,19 @@ class Cache:
         entry = self.mshr[line_addr]
         entry.issued = True
         self._outstanding += 1
-        issue_at = now + self.hit_latency_ticks
+        self.engine.schedule(now + self.hit_latency_ticks,
+                             self._send, line_addr, entry)
 
-        def send() -> None:
-            self.lower.read(
-                line_addr,
-                self.engine.now,
-                lambda t, la=line_addr: self._on_fill(la, t),
-                entry.core_id,
-                entry.is_prefetch,
-                pc=entry.pc,
-            )
-
-        self.engine.schedule(issue_at, send)
+    def _send(self, line_addr: int, entry: MSHREntry) -> None:
+        """Forward an issued miss to the lower level (tag latency elapsed)."""
+        self.lower.read(
+            line_addr,
+            self.engine.now,
+            lambda t, la=line_addr: self._on_fill(la, t),
+            entry.core_id,
+            entry.is_prefetch,
+            pc=entry.pc,
+        )
 
     def _on_fill(self, line_addr: int, now: int) -> None:
         entry = self.mshr.pop(line_addr, None)
@@ -272,13 +282,16 @@ class Cache:
 
     def _install(self, line_addr: int, dirty: bool, pc: int, now: int,
                  is_prefetch: bool) -> None:
-        set_idx = self.set_index(line_addr)
+        set_idx = (line_addr >> LINE_BITS) & self._set_mask
         cset = self.sets[set_idx]
-        way = cset.find_invalid()
+        tags = self._tags[set_idx]
+        # All ways resident (the steady state) - skip the invalid-way scan.
+        way = None if len(tags) >= self.ways else cset.find_invalid()
         if way is None:
             way = self._choose_victim(set_idx, now)
             self._evict(set_idx, way, now)
         line = cset.lines[way]
+        tags[line_addr] = way
         line.valid = True
         line.dirty = dirty
         line.line_addr = line_addr
@@ -299,6 +312,7 @@ class Cache:
         line = self.sets[set_idx].lines[way]
         if not line.valid:
             return
+        del self._tags[set_idx][line.line_addr]
         self.stats.evictions += 1
         self.repl.on_eviction(set_idx, way, line)
         if line.dirty:

@@ -6,12 +6,16 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One way of one cache set.
 
     ``line_addr`` is the full line-aligned physical address (so evictions can
     be written back without reconstructing the address from tag bits).
+
+    Slotted: every cache access walks the set's lines, so the per-line
+    attribute reads (``valid``/``line_addr``) are the hottest loads in the
+    cache model.
     """
 
     valid: bool = False
@@ -33,7 +37,7 @@ class CacheLine:
         self.prefetched = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheSet:
     """A set: ``ways`` lines plus whatever state the policies keep."""
 

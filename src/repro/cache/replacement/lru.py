@@ -35,7 +35,14 @@ class LRUPolicy(ReplacementPolicy):
 
     def victim(self, set_idx: int, lines: Sequence[CacheLine]) -> int:
         stamps = self._stamp[set_idx]
-        return min(range(self.ways), key=lambda w: stamps[w])
+        best = 0
+        best_stamp = stamps[0]
+        for way in range(1, len(stamps)):
+            stamp = stamps[way]
+            if stamp < best_stamp:
+                best = way
+                best_stamp = stamp
+        return best
 
     def eviction_order(self, set_idx: int,
                        lines: Sequence[CacheLine]) -> List[int]:

@@ -19,8 +19,8 @@ from typing import Callable, Iterator, Optional
 
 from repro.clock import TICKS_PER_CPU_CYCLE
 from repro.cpu.rob import ReorderBuffer, RobEntry
-from repro.cpu.trace import LOAD, NONMEM, STORE, TraceRecord
-from repro.dram.commands import LINE_SIZE
+from repro.cpu.trace import LOAD, NONMEM, TraceRecord
+from repro.dram.commands import LINE_BITS
 
 
 @dataclass
@@ -117,33 +117,47 @@ class Core:
         self._tick_scheduled = False
         if self.finished:
             return
+        # Invariant per-access state (config-derived widths, the ROB, the
+        # trace cursor, the clock ratio) is hoisted into locals: this
+        # method runs once per active CPU cycle per core.
         now = self.engine.now
+        stats = self.stats
+        rob = self.rob
+        budget = self.budget
+        cpu_cycle = TICKS_PER_CPU_CYCLE
 
-        remaining = self.budget - self.stats.retired
-        self.stats.retired += self.rob.retire_ready(
-            now, min(self.retire_width, remaining)
-        )
-        if self.stats.retired >= self.budget:
+        remaining = budget - stats.retired
+        if remaining < self.retire_width:
+            stats.retired += rob.retire_ready(now, remaining)
+        else:
+            stats.retired += rob.retire_ready(now, self.retire_width)
+        if stats.retired >= budget:
             self._finish(now)
             return
 
+        rob_entries = rob.entries
+        rob_size = rob.size
+        trace_next = self.trace.__next__
+        push = rob_entries.append
+        fetch = self._fetch
         issued = 0
-        while issued < self.issue_width and not self.rob.full:
-            kind, addr, pc = next(self.trace)
-            self._fetch(pc, now)
+        issue_width = self.issue_width
+        while issued < issue_width and len(rob_entries) < rob_size:
+            kind, addr, pc = trace_next()
+            fetch(pc, now)
             if kind == NONMEM:
-                self.rob.push(RobEntry(now + TICKS_PER_CPU_CYCLE))
-                self.stats.nonmem += 1
+                push(RobEntry(now + cpu_cycle))
+                stats.nonmem += 1
             elif kind == LOAD:
                 entry = RobEntry(None, is_load=True)
-                self.rob.push(entry)
-                self.stats.loads += 1
+                push(entry)
+                stats.loads += 1
                 self._issue_load(addr, pc, now, entry)
             else:
                 # Stores retire immediately (post-retirement store buffer);
                 # the write still traverses the hierarchy and dirties lines.
-                self.rob.push(RobEntry(now + TICKS_PER_CPU_CYCLE))
-                self.stats.stores += 1
+                push(RobEntry(now + cpu_cycle))
+                stats.stores += 1
                 self._issue_store(addr, pc, now)
             issued += 1
 
@@ -207,7 +221,7 @@ class Core:
 
     def _fetch(self, pc: int, now: int) -> None:
         """Instruction-side traffic: one L1I access per new fetch line."""
-        line = pc // LINE_SIZE
+        line = pc >> LINE_BITS
         if line == self._last_fetch_line:
             return
         self._last_fetch_line = line

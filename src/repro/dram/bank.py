@@ -15,13 +15,20 @@ Cross-bank constraints (same-bankgroup tCCD_L, the shared data bus, and bus
 turnaround) are enforced by :class:`repro.dram.subchannel.SubChannel`; this
 module only owns same-bank state.
 
+``earliest_burst`` runs once per queued request per scheduling decision -
+it is the single hottest function in the DRAM model - so every per-command
+cycle count it needs (CAS, ACT->burst, PRE->burst, conflict recovery) is
+precomputed into a flat timing table at construction instead of being
+re-derived from :class:`~repro.dram.timing.DDR5Timing` attributes on every
+call.
+
 All times in this module are DRAM command-clock cycles.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dram.commands import Op
@@ -36,7 +43,7 @@ class AccessKind(enum.Enum):
     ROW_CONFLICT = "conflict"
 
 
-@dataclass
+@dataclass(slots=True)
 class BankStats:
     """Command counters for one bank (feeds the power model)."""
 
@@ -49,7 +56,6 @@ class BankStats:
     row_closed: int = 0
 
 
-@dataclass
 class Bank:
     """State of one DRAM bank.
 
@@ -68,19 +74,53 @@ class Bank:
         Direction of that burst.
     """
 
-    timing: DDR5Timing
-    open_row: Optional[int] = None
-    act_cycle: int = -(10**9)
-    pre_done_cycle: int = 0
-    last_burst_cycle: int = -(10**9)
-    last_burst_op: Optional[Op] = None
-    stats: BankStats = field(default_factory=BankStats)
+    __slots__ = (
+        "timing", "open_row", "act_cycle", "pre_done_cycle",
+        "last_burst_cycle", "last_burst_op", "stats",
+        # Precomputed per-command timing table (DRAM cycles):
+        "_trcd", "_tras", "_trp",
+        "_cas_rd", "_cas_wr",               # command -> first data beat
+        "_act_burst_rd", "_act_burst_wr",   # ACT -> burst (tRCD + CAS)
+        "_pre_burst_rd", "_pre_burst_wr",   # PRE -> burst (tRP + tRCD + CAS)
+        "_recovery_rd", "_recovery_wr",     # prev-burst -> conflict burst
+        "_wr_to_pre", "_rd_to_pre",         # last burst -> earliest PRE
+    )
 
-    def _cas(self, op: Op) -> int:
-        return self.timing.cwl if op is Op.WRITE else self.timing.cl
+    def __init__(self, timing: DDR5Timing) -> None:
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.act_cycle: int = -(10**9)
+        self.pre_done_cycle: int = 0
+        self.last_burst_cycle: int = -(10**9)
+        self.last_burst_op: Optional[Op] = None
+        self.stats = BankStats()
+
+        t = timing
+        self._trcd = t.trcd
+        self._tras = t.tras
+        self._trp = t.trp
+        self._cas_rd = t.cl
+        self._cas_wr = t.cwl
+        self._act_burst_rd = t.trcd + t.cl
+        self._act_burst_wr = t.trcd + t.cwl
+        self._pre_burst_rd = t.trp + t.trcd + t.cl
+        self._pre_burst_wr = t.trp + t.trcd + t.cwl
+        # Burst-to-burst conflict delay by the *previous* burst's direction
+        # (paper Fig. 5: tRCD + tCWL + tWR + tRP after a write).
+        self._recovery_wr = t.write_conflict_delay
+        self._recovery_rd = t.read_conflict_delay
+        # Last burst -> earliest PRE (write recovery / read burst drain).
+        self._wr_to_pre = t.cwl + t.twr
+        self._rd_to_pre = t.burst
 
     def classify(self, row: int) -> AccessKind:
-        """How would a request for ``row`` interact with the row buffer?"""
+        """How would a request for ``row`` interact with the row buffer?
+
+        This is the canonical row-state predicate (:meth:`commit` uses
+        it); ``earliest_burst`` and the sub-channel's FR-FCFS scan inline
+        the ``open_row`` comparisons instead - they run per queued
+        request per scheduling decision.
+        """
         if self.open_row is None:
             return AccessKind.ROW_CLOSED
         if self.open_row == row:
@@ -97,55 +137,61 @@ class Bank:
         constraints are applied here; the sub-channel layers bus and
         bankgroup constraints on top.
         """
-        t = self.timing
-        cas = self._cas(op)
-        kind = self.classify(row)
-        if kind is AccessKind.ROW_HIT:
-            # RD/WR command may issue once tRCD has elapsed since ACT.
-            cmd_ready = max(ready, self.act_cycle + t.trcd)
-            return cmd_ready + cas
-        if kind is AccessKind.ROW_CLOSED:
-            act = max(ready, self.pre_done_cycle)
-            return act + t.trcd + cas
+        open_row = self.open_row
+        is_write = op is Op.WRITE
+        if open_row == row:
+            # Row hit: RD/WR may issue once tRCD has elapsed since ACT.
+            cmd_ready = self.act_cycle + self._trcd
+            if ready > cmd_ready:
+                cmd_ready = ready
+            return cmd_ready + (self._cas_wr if is_write else self._cas_rd)
+        if open_row is None:
+            act = self.pre_done_cycle
+            if ready > act:
+                act = ready
+            return act + (self._act_burst_wr if is_write
+                          else self._act_burst_rd)
         # Row conflict: PRE -> tRP -> ACT -> tRCD -> CAS, respecting write
         # recovery from the previous burst and tRAS for the open row.
-        if self.last_burst_op is Op.WRITE:
-            recovery = self.last_burst_cycle + t.write_conflict_delay - (
-                t.trp + t.trcd + cas
-            )
-        else:
-            recovery = self.last_burst_cycle + t.read_conflict_delay - (
-                t.trp + t.trcd + cas
-            )
-        pre = max(ready, self.act_cycle + t.tras, recovery)
-        return pre + t.trp + t.trcd + cas
+        pre_burst = self._pre_burst_wr if is_write else self._pre_burst_rd
+        recovery = self.last_burst_cycle - pre_burst + (
+            self._recovery_wr if self.last_burst_op is Op.WRITE
+            else self._recovery_rd
+        )
+        pre = self.act_cycle + self._tras
+        if ready > pre:
+            pre = ready
+        if recovery > pre:
+            pre = recovery
+        return pre + pre_burst
 
     def commit(self, row: int, op: Op, burst_cycle: int) -> AccessKind:
         """Record that a burst for (row, op) starts at ``burst_cycle``.
 
         Returns the row-buffer interaction kind, for statistics.
         """
-        t = self.timing
-        cas = self._cas(op)
+        stats = self.stats
         kind = self.classify(row)
-        if kind is AccessKind.ROW_CONFLICT:
-            self.stats.precharges += 1
-            self.stats.activates += 1
-            self.stats.row_conflicts += 1
-            self.act_cycle = burst_cycle - cas - t.trcd
-        elif kind is AccessKind.ROW_CLOSED:
-            self.stats.activates += 1
-            self.stats.row_closed += 1
-            self.act_cycle = burst_cycle - cas - t.trcd
+        if kind is AccessKind.ROW_HIT:
+            stats.row_hits += 1
         else:
-            self.stats.row_hits += 1
-        self.open_row = row
+            act_burst = (self._act_burst_wr if op is Op.WRITE
+                         else self._act_burst_rd)
+            if kind is AccessKind.ROW_CLOSED:
+                stats.activates += 1
+                stats.row_closed += 1
+            else:
+                stats.precharges += 1
+                stats.activates += 1
+                stats.row_conflicts += 1
+            self.act_cycle = burst_cycle - act_burst
+            self.open_row = row
         self.last_burst_cycle = burst_cycle
         self.last_burst_op = op
         if op is Op.WRITE:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
         return kind
 
     def close_row(self, now: int) -> None:
@@ -156,12 +202,15 @@ class Bank:
         """
         if self.open_row is None:
             return
-        t = self.timing
-        pre = max(now, self.act_cycle + t.tras)
-        if self.last_burst_op is Op.WRITE:
-            pre = max(pre, self.last_burst_cycle + t.cwl + t.twr)
-        else:
-            pre = max(pre, self.last_burst_cycle + t.burst)
+        pre = self.act_cycle + self._tras
+        if now > pre:
+            pre = now
+        drain = self.last_burst_cycle + (
+            self._wr_to_pre if self.last_burst_op is Op.WRITE
+            else self._rd_to_pre
+        )
+        if drain > pre:
+            pre = drain
         self.open_row = None
-        self.pre_done_cycle = pre + t.trp
+        self.pre_done_cycle = pre + self._trp
         self.stats.precharges += 1

@@ -13,11 +13,11 @@ The channel is the component the LLC talks to.  It
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 from repro.clock import TICKS_PER_DRAM_CYCLE
-from repro.dram.commands import MemRequest, Op
+from repro.dram.commands import MemRequest
 from repro.dram.stats import SubChannelStats
 from repro.dram.subchannel import SubChannel
 from repro.dram.timing import DDR5Timing
@@ -98,30 +98,33 @@ class Channel:
         """Accept a read or write request for this channel."""
         sc_idx = req.coord.subchannel
         sc = self.subchannels[sc_idx]
-        req.arrival_cycle = self._now_cycle()
-        if req.op is Op.READ:
-            self.stats.reads_received += 1
+        now_cycle = self._now_cycle()
+        req.arrival_cycle = now_cycle
+        stats = self.stats
+        if not req.is_write:
+            stats.reads_received += 1
             if self._forwardable(sc_idx, req.addr):
-                self.stats.forwarded_reads += 1
-                self._complete_read_at(
-                    req, self._now_cycle() + _FORWARD_LATENCY
-                )
+                stats.forwarded_reads += 1
+                self._complete_read_at(req, now_cycle + _FORWARD_LATENCY)
                 return
             req = self._wrap_read(req)
             if not sc.enqueue_read(req):
-                self.stats.staged_reads += 1
+                stats.staged_reads += 1
                 self._staged_reads[sc_idx].append(req)
         else:
-            self.stats.writes_received += 1
+            stats.writes_received += 1
             if not sc.enqueue_write(req):
-                self.stats.staged_writes += 1
+                stats.staged_writes += 1
                 self._staged_writes[sc_idx].append(req)
-        self._kick(sc_idx, self._now_cycle())
+        self._kick(sc_idx, now_cycle)
 
     def _forwardable(self, sc_idx: int, addr: int) -> bool:
         if self.subchannels[sc_idx].wq.contains_addr(addr):
             return True
-        return any(r.addr == addr for r in self._staged_writes[sc_idx])
+        staged = self._staged_writes[sc_idx]
+        if not staged:
+            return False
+        return any(r.addr == addr for r in staged)
 
     def _wrap_read(self, req: MemRequest) -> MemRequest:
         """Wrap the completion callback to account read latency."""
@@ -130,10 +133,15 @@ class Channel:
 
         def done(cycle: int) -> None:
             tick = cycle * TICKS_PER_DRAM_CYCLE
-            self.stats.reads_completed += 1
-            self.stats.read_latency_ticks += max(0, tick - arrival)
+            # Resolve stats at completion time: reset_stats() swaps the
+            # stats object at the warmup boundary, and reads in flight
+            # across it must land in the measurement-epoch counters.
+            stats = self.stats
+            stats.reads_completed += 1
+            if tick > arrival:
+                stats.read_latency_ticks += tick - arrival
             if inner is not None:
-                self._engine.schedule(tick, lambda: inner(tick))
+                self._engine.schedule(tick, inner, tick)
 
         req.on_complete = done
         return req
@@ -143,9 +151,10 @@ class Channel:
         arrival = self._now_tick()
         inner = req.on_complete
         self.stats.reads_completed += 1
-        self.stats.read_latency_ticks += max(0, tick - arrival)
+        if tick > arrival:
+            self.stats.read_latency_ticks += tick - arrival
         if inner is not None:
-            self._engine.schedule(tick, lambda: inner(tick))
+            self._engine.schedule(tick, inner, tick)
 
     # ------------------------------------------------------------------
     # Clock bridging and scheduling
@@ -164,21 +173,25 @@ class Channel:
         if pending is not None and pending <= cycle:
             return
         self._next_event[sc_idx] = cycle
-        tick = max(cycle * TICKS_PER_DRAM_CYCLE, self._now_tick())
-        self._engine.schedule(tick, lambda: self._tick_sc(sc_idx))
+        tick = cycle * TICKS_PER_DRAM_CYCLE
+        now = self._engine.now
+        if now > tick:
+            tick = now
+        self._engine.schedule(tick, self._tick_sc, sc_idx)
 
     def _tick_sc(self, sc_idx: int) -> None:
-        cycle = self._now_tick() // TICKS_PER_DRAM_CYCLE
+        cycle = self._engine.now // TICKS_PER_DRAM_CYCLE
         expected = self._next_event[sc_idx]
         if expected is not None and expected > cycle:
             # A newer, earlier kick superseded this event.
             return
         self._next_event[sc_idx] = None
-        sc = self.subchannels[sc_idx]
-        nxt = sc.tick(cycle)
+        nxt = self.subchannels[sc_idx].tick(cycle)
         self._replay_staged(sc_idx)
         if nxt is not None:
-            self._kick(sc_idx, max(nxt, cycle + 1))
+            if nxt <= cycle:
+                nxt = cycle + 1
+            self._kick(sc_idx, nxt)
 
     def _replay_staged(self, sc_idx: int) -> None:
         """Move staged requests into the bounded queues as space frees."""
@@ -203,9 +216,7 @@ class Channel:
         sc_idx, sub_bank = divmod(bank_id, 32)
         count = self.subchannels[sc_idx].wq.pending_for_bank(sub_bank)
         count += sum(
-            1
-            for r in self._staged_writes[sc_idx]
-            if r.coord.subchannel_bank_id == sub_bank
+            1 for r in self._staged_writes[sc_idx] if r.sc_bank == sub_bank
         )
         return count
 

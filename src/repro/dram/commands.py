@@ -58,13 +58,23 @@ class DramCoord(NamedTuple):
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class MemRequest:
     """One cache-line request presented to the DRAM channel.
 
     ``on_complete`` is invoked with the completion tick when the data burst
     for the request finishes (reads) or when the write has been issued to the
     bank (writes).
+
+    The scheduler examines every queued request's coordinates on each
+    decision, so the fields it reads per comparison (``is_write``,
+    ``bankgroup``, ``sc_bank``, ``row``) are flattened out of ``op`` /
+    ``coord`` once at construction; the dataclass itself is slotted.
+    Requests compare by identity (``eq=False``): every instance carries a
+    unique ``req_id``, so field-wise equality could only ever match the
+    same object - and queue removal does a ``list.remove`` per issued
+    request, which would otherwise run the generated ``__eq__`` against
+    every earlier entry.
     """
 
     addr: int
@@ -82,6 +92,19 @@ class MemRequest:
     # Filled in by the scheduler when the request is issued.
     issue_tick: Optional[int] = None
     burst_tick: Optional[int] = None
+
+    # Derived once in __post_init__ - hot-loop copies of op/coord fields.
+    is_write: bool = field(init=False)
+    bankgroup: int = field(init=False)
+    sc_bank: int = field(init=False)
+    row: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        coord = self.coord
+        self.is_write = self.op is Op.WRITE
+        self.bankgroup = coord.bankgroup
+        self.sc_bank = coord.bankgroup * 4 + coord.bank
+        self.row = coord.row
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

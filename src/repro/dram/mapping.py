@@ -66,6 +66,31 @@ class ZenMapping:
             raise MappingError("channel count must be a power of two")
         if self.row_bits < 6:
             raise MappingError("row_bits must be at least 6")
+        # map() runs once per memory request, so the field layout is
+        # flattened into cached shift/mask pairs here (object.__setattr__
+        # because the dataclass is frozen; these are derived caches, not
+        # part of the mapping's identity).
+        ch_bits = self.channels.bit_length() - 1
+        bit = LINE_BITS
+        object.__setattr__(self, "_ch_mask", (1 << ch_bits) - 1)
+        bit += ch_bits
+        object.__setattr__(self, "_sc_shift", bit)
+        object.__setattr__(self, "_sc_mask", (1 << _SC_BITS) - 1)
+        bit += _SC_BITS
+        object.__setattr__(self, "_co0_shift", bit)
+        object.__setattr__(self, "_co0_mask", (1 << _CO0_BITS) - 1)
+        bit += _CO0_BITS
+        object.__setattr__(self, "_bg_shift", bit)
+        object.__setattr__(self, "_bg_mask", (1 << _BG_BITS) - 1)
+        bit += _BG_BITS
+        object.__setattr__(self, "_ba_shift", bit)
+        object.__setattr__(self, "_ba_mask", (1 << _BA_BITS) - 1)
+        bit += _BA_BITS
+        object.__setattr__(self, "_co1_shift", bit)
+        object.__setattr__(self, "_co1_mask", (1 << _CO1_BITS) - 1)
+        bit += _CO1_BITS
+        object.__setattr__(self, "_row_shift", bit)
+        object.__setattr__(self, "_row_mask", (1 << self.row_bits) - 1)
 
     @property
     def channel_bits(self) -> int:
@@ -83,31 +108,23 @@ class ZenMapping:
         """Translate a physical byte address to DRAM coordinates."""
         if addr < 0:
             raise MappingError(f"negative address {addr:#x}")
-        bit = LINE_BITS
-        channel = _bits(addr, bit, self.channel_bits)
-        bit += self.channel_bits
-        sc = _bits(addr, bit, _SC_BITS)
-        bit += _SC_BITS
-        co0 = _bits(addr, bit, _CO0_BITS)
-        bit += _CO0_BITS
-        bg = _bits(addr, bit, _BG_BITS)
-        bit += _BG_BITS
-        ba = _bits(addr, bit, _BA_BITS)
-        bit += _BA_BITS
-        co1 = _bits(addr, bit, _CO1_BITS)
-        bit += _CO1_BITS
-        row = _bits(addr, bit, self.row_bits)
+        channel = (addr >> LINE_BITS) & self._ch_mask
+        sc = (addr >> self._sc_shift) & self._sc_mask
+        co0 = (addr >> self._co0_shift) & self._co0_mask
+        bg = (addr >> self._bg_shift) & self._bg_mask
+        ba = (addr >> self._ba_shift) & self._ba_mask
+        co1 = (addr >> self._co1_shift) & self._co1_mask
+        row = (addr >> self._row_shift) & self._row_mask
         if self.pbpl:
-            ba ^= _bits(row, 0, _BA_BITS)
-            bg ^= _bits(row, _BA_BITS, _BG_BITS)
-        column = (co1 << _CO0_BITS) | co0
+            ba ^= row & self._ba_mask
+            bg ^= (row >> _BA_BITS) & self._bg_mask
         return DramCoord(
             channel=channel,
             subchannel=sc,
             bankgroup=bg,
             bank=ba,
             row=row,
-            column=column,
+            column=(co1 << _CO0_BITS) | co0,
         )
 
     def compose(self, coord: DramCoord) -> int:

@@ -21,7 +21,7 @@ from repro.dram.commands import MemRequest
 from repro.errors import ConfigError
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadQueue:
     """Bounded FIFO of outstanding read requests."""
 
@@ -53,7 +53,7 @@ class ReadQueue:
         return iter(self.entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteQueue:
     """Bounded write queue with high/low drain watermarks.
 
@@ -124,9 +124,7 @@ class WriteQueue:
         which cross-checks the tracker against ground truth; BARD itself
         never consults the WRQ.
         """
-        return sum(
-            1 for r in self.entries if r.coord.subchannel_bank_id == bank_id
-        )
+        return sum(1 for r in self.entries if r.sc_bank == bank_id)
 
     def __iter__(self) -> Iterable[MemRequest]:
         return iter(self.entries)

@@ -67,6 +67,16 @@ class SubChannel:
         self.timing = timing
         self.drain_policy = drain_policy
         self.refresh_enabled = refresh
+        # Flat copies of the cross-bank timing constraints: `earliest_burst`
+        # runs once per queued request per scheduling decision, so the
+        # constraint maxima are composed from plain ints instead of
+        # attribute chains through the frozen DDR5Timing dataclass.
+        self._tccd_s_wr = timing.tccd_s_wr
+        self._tccd_l_wr = timing.tccd_l_wr
+        self._tccd_s_rd = timing.tccd_s_rd
+        self._tccd_l_rd = timing.tccd_l_rd
+        self._turnaround = timing.turnaround
+        self._burst_cycles = timing.burst
         #: All-bank refresh interval and duration in DRAM cycles
         #: (DDR5: tREFI ~3.9 us, tRFC ~295 ns at 2.4 GHz).
         self.trefi = 9360
@@ -121,46 +131,57 @@ class SubChannel:
 
     def earliest_burst(self, req: MemRequest, now: int) -> int:
         """Earliest data-burst start for ``req`` given all constraints."""
-        t = self.timing
-        coord = req.coord
-        bg = coord.bankgroup
-        ready = min(req.arrival_cycle, now)
-        if req.op is Op.WRITE and self.ideal_writes:
+        is_write = req.is_write
+        ready = req.arrival_cycle
+        if ready > now:
+            ready = now
+        bus_free = self.bus_free_cycle
+        if is_write and self.ideal_writes:
             # Idealised system (paper Figs. 2/14, Table V "Ideal"): every
             # write occupies the bus for BL/2 and nothing else.
-            burst = max(ready, self.bus_free_cycle,
-                        self._last_wr_burst + t.tccd_s_wr)
+            burst = self._last_wr_burst + self._tccd_s_wr
+            if bus_free > burst:
+                burst = bus_free
+            if ready > burst:
+                burst = ready
         else:
-            bank = self.banks[coord.subchannel_bank_id]
-            burst = bank.earliest_burst(coord.row, req.op, ready)
-            burst = max(burst, self.bus_free_cycle)
-            if req.op is Op.WRITE:
-                burst = max(
-                    burst,
-                    self._last_wr_burst_bg[bg] + t.tccd_l_wr,
-                    self._last_wr_burst + t.tccd_s_wr,
-                )
+            burst = self.banks[req.sc_bank].earliest_burst(
+                req.row, req.op, ready
+            )
+            if bus_free > burst:
+                burst = bus_free
+            if is_write:
+                c = self._last_wr_burst_bg[req.bankgroup] + self._tccd_l_wr
+                if c > burst:
+                    burst = c
+                c = self._last_wr_burst + self._tccd_s_wr
+                if c > burst:
+                    burst = c
             else:
-                burst = max(
-                    burst,
-                    self._last_rd_burst_bg[bg] + t.tccd_l_rd,
-                    self._last_rd_burst + t.tccd_s_rd,
-                )
+                c = self._last_rd_burst_bg[req.bankgroup] + self._tccd_l_rd
+                if c > burst:
+                    burst = c
+                c = self._last_rd_burst + self._tccd_s_rd
+                if c > burst:
+                    burst = c
         if req.op is not self.bus_mode:
-            burst = max(burst, self.bus_free_cycle + t.turnaround)
+            c = bus_free + self._turnaround
+            if c > burst:
+                burst = c
         return burst
 
     def _pick_read(self, now: int) -> Optional[MemRequest]:
         """FR-FCFS: oldest row-hit first, else oldest request."""
-        hit: Optional[MemRequest] = None
-        for req in self.rq.entries:
-            bank = self.banks[req.coord.subchannel_bank_id]
-            if bank.classify(req.coord.row) is AccessKind.ROW_HIT:
-                hit = req
-                break
-        return hit if hit is not None else (
-            self.rq.entries[0] if self.rq.entries else None
-        )
+        entries = self.rq.entries
+        if not entries:
+            return None
+        banks = self.banks
+        for req in entries:
+            # Open-row equality is exactly the ROW_HIT classification
+            # (a precharged bank's open_row is None, never a row number).
+            if banks[req.sc_bank].open_row == req.row:
+                return req
+        return entries[0]
 
     def _pick_write(self, now: int) -> Optional[MemRequest]:
         """Select the next write to drain.
@@ -173,8 +194,9 @@ class SubChannel:
             return self.wq.oldest()
         best: Optional[MemRequest] = None
         best_burst = 0
+        earliest = self.earliest_burst
         for req in self.wq.entries:
-            burst = self.earliest_burst(req, now)
+            burst = earliest(req, now)
             if best is None or burst < best_burst:
                 best, best_burst = req, burst
         return best
@@ -213,11 +235,14 @@ class SubChannel:
         sub-channel when new requests arrive).
         """
         self._maybe_refresh(now)
+        rq_entries = self.rq.entries
+        wq_entries = self.wq.entries
+        horizon = now + _PIPELINE_HORIZON
         while True:
             self._update_drain_mode(now)
-            if self.idle:
+            if not rq_entries and not wq_entries:
                 return None
-            if self.bus_free_cycle > now + _PIPELINE_HORIZON:
+            if self.bus_free_cycle > horizon:
                 return self.bus_free_cycle - _PIPELINE_HORIZON
             if self._in_drain:
                 req = self._pick_write(now)
@@ -230,45 +255,44 @@ class SubChannel:
             # Commit the best candidate: its bank preparation (PRE/ACT)
             # starts now and overlaps earlier requests' bursts; the data
             # burst itself is serialised on the bus.
-            burst = self.earliest_burst(req, now)
-            self._issue(req, burst)
+            self._issue(req, self.earliest_burst(req, now))
 
     def _issue(self, req: MemRequest, burst: int) -> None:
-        t = self.timing
-        coord = req.coord
+        stats = self.stats
+        is_write = req.is_write
         if req.op is not self.bus_mode:
-            self.stats.turnaround_cycles += t.turnaround
+            stats.turnaround_cycles += self._turnaround
             self.bus_mode = req.op
-        burst_end = burst + t.burst
+        burst_end = burst + self._burst_cycles
         self.bus_free_cycle = burst_end
-        self.stats.busy_cycles += t.burst
+        stats.busy_cycles += self._burst_cycles
         req.burst_tick = burst
 
-        if req.op is Op.WRITE and self.ideal_writes:
+        if is_write and self.ideal_writes:
             self._last_wr_burst = burst
         else:
-            bank = self.banks[coord.subchannel_bank_id]
-            kind = bank.commit(coord.row, req.op, burst)
+            bank = self.banks[req.sc_bank]
+            kind = bank.commit(req.row, req.op, burst)
             self._record_kind(req.op, kind)
-            if req.op is Op.WRITE:
-                self._last_wr_burst_bg[coord.bankgroup] = burst
+            if is_write:
+                self._last_wr_burst_bg[req.bankgroup] = burst
                 self._last_wr_burst = burst
             else:
-                self._last_rd_burst_bg[coord.bankgroup] = burst
+                self._last_rd_burst_bg[req.bankgroup] = burst
                 self._last_rd_burst = burst
-            self._maybe_close_row(bank, coord, burst_end)
+            self._maybe_close_row(bank, req.sc_bank, req.row, burst_end)
 
-        if req.op is Op.WRITE:
+        if is_write:
             self.wq.remove(req)
-            self.stats.writes_issued += 1
+            stats.writes_issued += 1
             if self._episode_writes:
-                self.stats.record_w2w(burst - self._episode_last_burst)
+                stats.record_w2w(burst - self._episode_last_burst)
             self._episode_writes += 1
-            self._episode_banks.add(coord.subchannel_bank_id)
+            self._episode_banks.add(req.sc_bank)
             self._episode_last_burst = burst
         else:
             self.rq.remove(req)
-            self.stats.reads_issued += 1
+            stats.reads_issued += 1
         if req.on_complete is not None:
             req.on_complete(burst_end)
 
@@ -284,16 +308,14 @@ class SubChannel:
             else:
                 self.stats.read_row_conflicts += 1
 
-    def _maybe_close_row(self, bank: Bank, coord, now: int) -> None:
+    def _maybe_close_row(self, bank: Bank, bank_id: int, row: int,
+                         now: int) -> None:
         """Adaptive open-page: close the row if no queued request needs it."""
-        bank_id = coord.subchannel_bank_id
         for req in self.rq.entries:
-            c = req.coord
-            if c.subchannel_bank_id == bank_id and c.row == coord.row:
+            if req.sc_bank == bank_id and req.row == row:
                 return
         for req in self.wq.entries:
-            c = req.coord
-            if c.subchannel_bank_id == bank_id and c.row == coord.row:
+            if req.sc_bank == bank_id and req.row == row:
                 return
         bank.close_row(now)
 

@@ -44,6 +44,7 @@ class ResultCache:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> Optional[RunResult]:
+        """Cached result for a run key, or ``None`` on miss."""
         path = self._path(key)
         # Any malformed file - unreadable, non-JSON, wrong shape, or
         # drifted inner fields - reads as a miss and gets re-simulated.

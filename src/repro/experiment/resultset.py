@@ -174,12 +174,21 @@ class ResultSet:
     # -- aggregation ---------------------------------------------------
 
     def metric(self, name: str) -> List[float]:
+        """The named metric evaluated for every observation, in order.
+
+        ``name`` is any :class:`~repro.sim.results.RunResult` attribute or
+        property (e.g. ``"mean_ipc"``, ``"write_blp"``) or a
+        baseline-relative metric (``"weighted_speedup"``,
+        ``"speedup_pct"``) after :meth:`speedup_vs`.
+        """
         return [obs.value(name) for obs in self.observations]
 
     def gmean(self, metric: str = "weighted_speedup") -> float:
+        """Geometric mean of ``metric`` across the observations."""
         return gmean(self.metric(metric))
 
     def amean(self, metric: str) -> float:
+        """Arithmetic mean of ``metric`` across the observations."""
         return amean(self.metric(metric))
 
     def gmean_speedup_pct(self) -> float:
@@ -203,12 +212,15 @@ class ResultSet:
 
     def to_json(self, path: Optional[Union[str, Path]] = None,
                 metrics: Sequence[str] = ()) -> str:
+        """JSON form of :meth:`to_records`; also written to ``path`` if
+        given.  Returns the serialised text either way."""
         text = json.dumps(self.to_records(metrics), indent=2)
         if path is not None:
             Path(path).write_text(text + "\n")
         return text
 
     def results(self) -> List[RunResult]:
+        """The raw :class:`RunResult` objects, in observation order."""
         return [obs.result for obs in self.observations]
 
 

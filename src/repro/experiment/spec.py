@@ -145,6 +145,7 @@ class Axis:
             raise ConfigError(f"axis {self.name!r} has no values")
 
     def apply(self, config: SystemConfig, value: str) -> SystemConfig:
+        """``config`` with this axis set to ``value`` (a new config)."""
         return AXIS_MODIFIERS[self.setting](config, value)
 
 
@@ -306,8 +307,10 @@ class RunPlan:
 
     @property
     def unique_count(self) -> int:
+        """Number of distinct simulations the plan requires."""
         return len(self.runs)
 
     @property
     def duplicate_count(self) -> int:
+        """Grid points satisfied by another point's simulation."""
         return len(self.points) - len(self.runs)

@@ -1,0 +1,39 @@
+"""Simulator performance scenarios and measurement helpers.
+
+This package is the single source of truth for the repository's
+performance-tracking loop (see ``docs/performance.md``):
+
+* :data:`~repro.perf.scenarios.SCENARIOS` defines the three
+  representative workloads every optimisation PR is measured on,
+* :func:`~repro.perf.scenarios.measure_scenario` times one scenario
+  through the experiment layer's :class:`~repro.experiment.Session`,
+* :func:`~repro.perf.scenarios.bench_report` assembles the
+  ``BENCH_simcore.json`` payload, including the speedup versus the
+  checked-in seed baseline.
+
+The golden-stats regression test (``tests/test_golden_stats.py``) reuses
+the same scenario definitions, so the runs that are timed are exactly the
+runs whose statistics are pinned bit-for-bit.
+"""
+
+from repro.perf.scenarios import (
+    BENCH_SCHEMA,
+    GOLDEN_SIM_INSTRUCTIONS,
+    GOLDEN_WARMUP_INSTRUCTIONS,
+    SCENARIOS,
+    PerfScenario,
+    bench_report,
+    measure_scenario,
+    scenario_config,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "GOLDEN_SIM_INSTRUCTIONS",
+    "GOLDEN_WARMUP_INSTRUCTIONS",
+    "SCENARIOS",
+    "PerfScenario",
+    "bench_report",
+    "measure_scenario",
+    "scenario_config",
+]

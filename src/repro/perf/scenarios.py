@@ -1,0 +1,169 @@
+"""Performance scenarios: what the perf harness times, and how.
+
+Three scenarios cover the simulator's qualitatively different hot paths:
+
+``write_stream``
+    ``copy`` on the 8-core system - a write-heavy streaming kernel that
+    stresses the LLC writeback path, the write queue and drain episodes.
+``graph_mix``
+    ``bc`` on the 8-core system - irregular graph-analytics accesses with
+    high MLP, stressing MSHR handling and the FR-FCFS read scheduler.
+``multicore_ddr5``
+    ``mix0`` on the 16-core, two-channel system - the scaling
+    configuration, stressing the engine's event queue and both channels.
+
+Throughput is reported as **engine events per second of host wall time**.
+The event count for a given (config, workload, seed) is deterministic
+(the golden-stats test pins the run's statistics bit-for-bit), so
+events/sec moves only when the host or the simulator implementation
+changes - which is exactly what a perf trajectory should measure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.analysis.metrics import gmean
+from repro.config.presets import small_8core, small_16core
+from repro.config.system import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiment.session import Session
+
+#: Schema identifier stamped into every BENCH_simcore.json.
+BENCH_SCHEMA = "repro-bench-simcore/1"
+
+#: Instruction budgets for the tiny golden-stats runs (fast enough for
+#: the tier-1 suite while still exercising warmup-boundary behaviour).
+GOLDEN_WARMUP_INSTRUCTIONS = 1_000
+GOLDEN_SIM_INSTRUCTIONS = 3_000
+
+#: Instruction budgets for timed runs: (warmup, sim) per mode.
+_FULL_BUDGET = (8_000, 24_000)
+_QUICK_BUDGET = (2_000, 6_000)
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One named perf scenario: a workload on a preset configuration."""
+
+    name: str
+    workload: str
+    preset: str  # "small_8core" | "small_16core"
+    description: str
+
+    def config(self, warmup: int, sim: int) -> SystemConfig:
+        """The scenario's system config with the given instruction budget."""
+        base = small_16core() if self.preset == "small_16core" \
+            else small_8core()
+        return replace(base, warmup_instructions=warmup,
+                       sim_instructions=sim)
+
+
+SCENARIOS: List[PerfScenario] = [
+    PerfScenario(
+        name="write_stream",
+        workload="copy",
+        preset="small_8core",
+        description="write-heavy streaming kernel (LLC writeback / "
+                    "WRQ drain path)",
+    ),
+    PerfScenario(
+        name="graph_mix",
+        workload="bc",
+        preset="small_8core",
+        description="irregular graph-analytics mix (MSHR / FR-FCFS "
+                    "read path)",
+    ),
+    PerfScenario(
+        name="multicore_ddr5",
+        workload="mix0",
+        preset="small_16core",
+        description="16-core two-channel DDR5 mix (event-queue scaling)",
+    ),
+]
+
+
+def scenario_config(scenario: PerfScenario, quick: bool = False,
+                    golden: bool = False) -> SystemConfig:
+    """Resolve a scenario to a concrete :class:`SystemConfig`.
+
+    ``golden`` selects the tiny budget the golden-stats test pins;
+    ``quick`` the CI smoke budget; otherwise the full perf budget.
+    """
+    if golden:
+        return scenario.config(GOLDEN_WARMUP_INSTRUCTIONS,
+                               GOLDEN_SIM_INSTRUCTIONS)
+    warmup, sim = _QUICK_BUDGET if quick else _FULL_BUDGET
+    return scenario.config(warmup, sim)
+
+
+def measure_scenario(scenario: PerfScenario, quick: bool = False,
+                     repeats: int = 2, seed: int = 7) -> Dict[str, object]:
+    """Time one scenario; returns its BENCH_simcore.json entry.
+
+    Each repeat simulates from scratch through a fresh, cache-disabled
+    :class:`~repro.experiment.Session` (a cached run would time JSON
+    deserialisation, not the simulator).  The best repeat is reported,
+    which is standard practice for throughput benchmarks: the minimum
+    wall time is the least contaminated by host noise.
+    """
+    from repro.experiment.session import Session
+
+    config = scenario_config(scenario, quick=quick)
+    best_seconds: Optional[float] = None
+    events = 0
+    for _ in range(max(1, repeats)):
+        session = Session(cache=False)
+        start = time.perf_counter()
+        result = session.run_one(config, scenario.workload, seed=seed)
+        seconds = time.perf_counter() - start
+        events = result.events
+        if best_seconds is None or seconds < best_seconds:
+            best_seconds = seconds
+    return {
+        "name": scenario.name,
+        "workload": scenario.workload,
+        "preset": scenario.preset,
+        "description": scenario.description,
+        "warmup_instructions": config.warmup_instructions,
+        "sim_instructions": config.sim_instructions,
+        "seed": seed,
+        "events": events,
+        "best_seconds": round(best_seconds, 4),
+        "events_per_sec": round(events / best_seconds, 1),
+    }
+
+
+def bench_report(entries: List[Dict[str, object]], mode: str,
+                 repeats: int,
+                 baseline: Optional[Dict[str, object]] = None,
+                 ) -> Dict[str, object]:
+    """Assemble the BENCH_simcore.json payload.
+
+    ``baseline`` is the parsed ``benchmarks/perf/baseline_seed.json``
+    (the pre-overhaul engine measured on the reference host); when given,
+    the report carries the geomean speedup against it.  Cross-host
+    comparisons are indicative only - the trajectory is meaningful when
+    baseline and measurement ran on the same machine.
+    """
+    gm = round(gmean(e["events_per_sec"] for e in entries), 1)
+    report: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": int(time.time()),
+        "mode": mode,
+        "repeats": repeats,
+        "scenarios": entries,
+        "geomean_events_per_sec": gm,
+    }
+    if baseline is not None:
+        base_gm = float(baseline["geomean_events_per_sec"])
+        report["baseline"] = {
+            "source": baseline.get("source", "benchmarks/perf/"
+                                             "baseline_seed.json"),
+            "geomean_events_per_sec": base_gm,
+            "speedup_vs_baseline": round(gm / base_gm, 3) if base_gm else None,
+        }
+    return report

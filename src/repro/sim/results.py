@@ -30,6 +30,10 @@ class RunResult:
     wb_stats: Optional[WritebackPolicyStats] = None
     bard_accuracy: Optional[BardAccuracy] = None
     llc_demand_accesses: int = 0
+    #: Engine events dispatched over the whole run (warmup + measurement);
+    #: deterministic in (config, workload, seed) and the denominator-free
+    #: numerator of the perf harness's events/sec metric.
+    events: int = 0
 
     # ------------------------------------------------------------------
     # Derived metrics (the paper's reporting vocabulary)

@@ -128,13 +128,20 @@ class System:
 
     def _core_finished(self, core: Core) -> None:
         self._finished_count += 1
+        if self._finished_count >= len(self.cores):
+            # Stop the engine from inside the finishing event: cheaper than
+            # evaluating an `until()` predicate before every dispatch, and
+            # it halts at exactly the same event boundary.
+            self.engine.stop()
 
     def _all_finished(self) -> bool:
         return self._finished_count >= len(self.cores)
 
     def _run_phase(self) -> None:
         self._finished_count = sum(1 for c in self.cores if c.finished)
-        self.engine.run(until=self._all_finished)
+        if self._all_finished():
+            return
+        self.engine.run()
 
     def reset_stats(self) -> None:
         """Start a fresh measurement epoch (end of warmup)."""
@@ -174,6 +181,7 @@ class System:
             dram_total.merge_from(channel.aggregate_stats())
         instructions = sum(c.stats.retired for c in self.cores)
         return RunResult(
+            events=self.engine.events_fired,
             label=label or (config.llc_writeback or "baseline"),
             cores=config.cores,
             instructions=instructions,

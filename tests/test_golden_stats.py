@@ -1,0 +1,115 @@
+"""Golden-stats regression: the perf scenarios' results are pinned.
+
+Every hot-path optimisation PR must leave simulation *results* untouched:
+the engine refactor contract is "same events, same statistics, less host
+time".  These tests replay one small run per perf scenario (the same
+scenario definitions :mod:`repro.perf` times) and compare every counter
+in the resulting :class:`~repro.sim.results.RunResult` against values
+captured from the seed implementation (commit 74a1c56), stored in
+``tests/data/golden_stats.json``.
+
+If one of these tests fails, the change altered simulation behaviour -
+either fix the regression or, if the behavioural change is intended and
+reviewed, regenerate the goldens as described in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiment.session import Session
+from repro.perf import SCENARIOS, scenario_config
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.workloads.suites import trace_factory
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_stats.json"
+
+with open(GOLDEN_PATH) as _f:
+    GOLDEN = json.load(_f)
+
+_SCENARIOS_BY_NAME = {s.name: s for s in SCENARIOS}
+
+
+def collect_stats(result: RunResult) -> dict:
+    """Flatten the RunResult counters that the goldens pin.
+
+    Integer counters compare exactly; per-core IPC is rounded to 12
+    decimals (the division is deterministic given identical tick counts,
+    the rounding only guards the JSON round-trip).
+    """
+    out = {
+        "instructions": result.instructions,
+        "elapsed_ticks": result.elapsed_ticks,
+        "ipc": [round(x, 12) for x in result.ipc],
+    }
+    llc = result.llc
+    for f in ("accesses", "hits", "misses", "read_misses", "write_misses",
+              "prefetch_accesses", "prefetch_misses", "mshr_merges", "fills",
+              "evictions", "dirty_evictions", "writebacks", "cleanses",
+              "writeback_installs"):
+        out[f"llc.{f}"] = getattr(llc, f)
+    dram = result.dram
+    for f in ("reads_issued", "writes_issued", "read_row_hits",
+              "read_row_conflicts", "write_row_hits", "write_row_conflicts",
+              "activates", "precharges", "write_mode_cycles",
+              "turnaround_cycles", "busy_cycles", "w2w_delay_sum",
+              "w2w_delay_count", "w2w_delay_max"):
+        out[f"dram.{f}"] = getattr(dram, f)
+    out["dram.episodes"] = len(dram.episodes)
+    out["dram.episode_banks"] = sum(e.unique_banks for e in dram.episodes)
+    for i, ch in enumerate(result.channels):
+        for f in ("reads_received", "writes_received", "forwarded_reads",
+                  "staged_reads", "staged_writes", "read_latency_ticks",
+                  "reads_completed"):
+            out[f"ch{i}.{f}"] = getattr(ch, f)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+class TestGoldenStats:
+    def test_matches_seed_implementation(self, name):
+        golden = GOLDEN[name]
+        scenario = _SCENARIOS_BY_NAME[name]
+        assert scenario.workload == golden["workload"]
+        assert scenario.preset == golden["preset"]
+        config = scenario_config(scenario, golden=True)
+        assert config.warmup_instructions == golden["warmup_instructions"]
+        assert config.sim_instructions == golden["sim_instructions"]
+
+        factory = trace_factory(scenario.workload, config,
+                                seed=golden["seed"])
+        system = System(config, factory)
+        result = system.run(label=scenario.workload)
+
+        got = collect_stats(result)
+        want = golden["stats"]
+        mismatched = {k: (want[k], got.get(k))
+                      for k in want if got.get(k) != want[k]}
+        assert not mismatched, (
+            f"{name}: simulation results drifted from the seed "
+            f"implementation: {mismatched}"
+        )
+        # The refactored engine also dispatches the exact same events.
+        assert system.engine.events_fired == golden["events_fired"]
+        # RunResult.events carries the same number out to the perf harness.
+        assert result.events == golden["events_fired"]
+
+
+def test_session_path_produces_identical_results():
+    """The Session entry point (what the perf harness times) matches a
+    direct System run for a golden scenario."""
+    name = "write_stream"
+    golden = GOLDEN[name]
+    scenario = _SCENARIOS_BY_NAME[name]
+    config = scenario_config(scenario, golden=True)
+    result = Session(cache=False).run_one(config, scenario.workload,
+                                          seed=golden["seed"])
+    got = collect_stats(result)
+    mismatched = {k: (golden["stats"][k], got.get(k))
+                  for k in golden["stats"]
+                  if got.get(k) != golden["stats"][k]}
+    assert not mismatched
