@@ -1,20 +1,25 @@
 #!/usr/bin/env python
 """Simulator-core performance harness: emits ``BENCH_simcore.json``.
 
-Times the three representative scenarios defined in
+Times the three representative throughput scenarios defined in
 :mod:`repro.perf.scenarios` through the experiment layer's ``Session``
-(cache disabled - every timed run is a real simulation) and writes the
-throughput trajectory file at the repository root.
+(cache disabled - every timed run is a real simulation), plus the
+warmup-dominated ``paper_warmup`` grid scenario (detailed warmup vs
+functional warmup with shared warm-state checkpoints), and writes the
+trajectory file at the repository root.
 
 Usage (from the repository root)::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py            # full
     PYTHONPATH=src python benchmarks/perf/run_perf.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/perf/run_perf.py --check 1.5
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --check-warmup 3
 
 ``--check R`` exits non-zero unless the measured geomean is at least
 ``R`` times the checked-in seed baseline (same-host comparisons only;
-see ``docs/performance.md``).
+see ``docs/performance.md``).  ``--check-warmup R`` gates the warmup
+scenario's end-to-end speedup the same way (host-independent: both legs
+are measured in the same invocation).
 """
 
 from __future__ import annotations
@@ -54,9 +59,19 @@ def main(argv=None) -> int:
                         default=None,
                         help="fail unless geomean events/sec >= RATIO x "
                              "the seed baseline")
+    parser.add_argument("--skip-warmup-scenario", action="store_true",
+                        dest="skip_warmup",
+                        help="skip the warmup-dominated grid scenario "
+                             "(throughput scenarios only)")
+    parser.add_argument("--check-warmup", type=float, metavar="RATIO",
+                        dest="check_warmup", default=None,
+                        help="fail unless functional warmup + checkpoints "
+                             "beat per-run detailed warmup by >= RATIO x "
+                             "on the warmup-dominated grid")
     args = parser.parse_args(argv)
 
-    from repro.perf import SCENARIOS, bench_report, measure_scenario
+    from repro.perf import SCENARIOS, WARMUP_SCENARIO, bench_report, \
+        measure_scenario, measure_warmup_scenario
 
     mode = "quick" if args.quick else "full"
     entries = []
@@ -69,8 +84,22 @@ def main(argv=None) -> int:
               f"-> {entry['events_per_sec']:,} events/sec")
         entries.append(entry)
 
+    warmup_entry = None
+    if not args.skip_warmup:
+        ws = WARMUP_SCENARIO
+        print(f"[{ws.name}] {ws.workload} x {list(ws.policies)} grid, "
+              f"detailed vs functional+checkpoints ({mode}) ...",
+              flush=True)
+        warmup_entry = measure_warmup_scenario(quick=args.quick,
+                                               repeats=args.repeats)
+        print(f"  detailed {warmup_entry['detailed_seconds']}s vs "
+              f"functional {warmup_entry['functional_seconds']}s "
+              f"-> {warmup_entry['speedup_vs_detailed']}x "
+              f"({warmup_entry['warmups_executed']} warmup, "
+              f"{warmup_entry['checkpoint_restores']} restores)")
+
     report = bench_report(entries, mode=mode, repeats=args.repeats,
-                          baseline=_load_baseline())
+                          baseline=_load_baseline(), warmup=warmup_entry)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     gm = report["geomean_events_per_sec"]
     print(f"geomean: {gm:,} events/sec -> {args.output}")
@@ -89,6 +118,17 @@ def main(argv=None) -> int:
                   f"required {args.check}x", file=sys.stderr)
             return 1
         print(f"PASS: >= {args.check}x")
+    if args.check_warmup is not None:
+        if warmup_entry is None:
+            print("--check-warmup requested but the warmup scenario "
+                  "was skipped", file=sys.stderr)
+            return 2
+        if warmup_entry["speedup_vs_detailed"] < args.check_warmup:
+            print(f"FAIL: warmup scenario "
+                  f"{warmup_entry['speedup_vs_detailed']}x < required "
+                  f"{args.check_warmup}x", file=sys.stderr)
+            return 1
+        print(f"PASS: warmup >= {args.check_warmup}x")
     return 0
 
 

@@ -19,16 +19,21 @@ All externally visible times are engine ticks.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Protocol, \
+    Tuple
 
 from repro.cache.line import CacheSet
 from repro.cache.mshr import DoneCallback, MSHREntry
 from repro.cache.replacement import ReplacementPolicy, pc_signature
 from repro.clock import TICKS_PER_CPU_CYCLE
 from repro.dram.commands import LINE_BITS, LINE_SIZE
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.warmstate import CacheWarmState
 
 #: Mask clearing the block-offset bits of a physical address.
 _LINE_MASK = ~(LINE_SIZE - 1)
@@ -124,6 +129,13 @@ class Cache:
         self.mshr: Dict[int, MSHREntry] = {}
         self._outstanding = 0
         self._issue_queue: Deque[int] = deque()
+
+        # Functional-warmup plumbing: the next level's warm entry points,
+        # or None when the level below is the memory controller (warm
+        # traffic stops at the DRAM boundary - there is no timing state
+        # to warm there).
+        self._warm_lower = getattr(lower, "warm_access", None)
+        self._warm_lower_wb = getattr(lower, "warm_writeback", None)
 
         if self.wb_policy is not None:
             self.wb_policy.attach(self)
@@ -381,3 +393,144 @@ class Cache:
              core_id: int, is_prefetch: bool, pc: int = 0) -> None:
         self.access(line_addr, False, pc, now, on_done, core_id=core_id,
                     is_prefetch=is_prefetch)
+
+    # ------------------------------------------------------------------
+    # Functional warmup path (zero engine events)
+    # ------------------------------------------------------------------
+
+    def warm_access(self, addr: int, is_write: bool, pc: int,
+                    is_prefetch: bool = False) -> None:
+        """One warmup access with no timing: state machines only.
+
+        Updates exactly the architectural state the detailed path would
+        leave behind - tag arrays, dirty bits, replacement metadata,
+        prefetcher tables - while skipping everything timing-related
+        (MSHRs, engine events, the writeback policy, DRAM).  Misses
+        descend recursively so lower levels warm too, and evicted dirty
+        victims install into the level below as writeback-allocates.
+        Statistics are not maintained: warmup counters are discarded at
+        the measurement boundary anyway, and this loop runs once per
+        warmup instruction per core.
+        """
+        la = addr & _LINE_MASK
+        set_idx = (la >> LINE_BITS) & self._set_mask
+        way = self._tags[set_idx].get(la)
+        if way is not None:
+            line = self.sets[set_idx].lines[way]
+            line.reused = True
+            if not is_prefetch:
+                self.repl.on_hit(set_idx, way, pc)
+            if is_write:
+                line.dirty = True
+        else:
+            # Fetch descends first (mirroring the detailed fill's
+            # temporal order); the write's dirty bit lands at this
+            # level only, exactly as a detailed store miss would.
+            if self._warm_lower is not None:
+                self._warm_lower(la, False, pc, is_prefetch)
+            self._warm_install(la, is_write, pc, is_prefetch)
+        if self.prefetcher is not None and not is_prefetch:
+            for target in self.prefetcher.on_access(addr, pc,
+                                                    way is not None):
+                tla = target & _LINE_MASK
+                if tla == la:
+                    continue
+                if tla in self._tags[(tla >> LINE_BITS) & self._set_mask]:
+                    continue
+                self.warm_access(tla, False, pc, is_prefetch=True)
+
+    def _warm_install(self, line_addr: int, dirty: bool, pc: int,
+                      is_prefetch: bool) -> None:
+        """Install a line during functional warmup.
+
+        Victim choice uses the replacement policy alone - the writeback
+        policy is deliberately *not* consulted, which keeps the warm
+        state identical under every ``llc_writeback`` setting (the
+        property warm-state checkpoint sharing relies on).
+        """
+        set_idx = (line_addr >> LINE_BITS) & self._set_mask
+        cset = self.sets[set_idx]
+        tags = self._tags[set_idx]
+        way = None if len(tags) >= self.ways else cset.find_invalid()
+        if way is None:
+            way = self.repl.victim(set_idx, cset.lines)
+            victim = cset.lines[way]
+            del tags[victim.line_addr]
+            self.repl.on_eviction(set_idx, way, victim)
+            if victim.dirty and self._warm_lower_wb is not None:
+                self._warm_lower_wb(victim.line_addr)
+            victim.reset()
+        line = cset.lines[way]
+        tags[line_addr] = way
+        line.valid = True
+        line.dirty = dirty
+        line.line_addr = line_addr
+        line.signature = pc_signature(pc)
+        line.reused = False
+        line.prefetched = is_prefetch
+        self.repl.on_fill(set_idx, way, pc, is_prefetch)
+
+    def warm_writeback(self, line_addr: int) -> None:
+        """Receive a dirty victim from the level above during warmup."""
+        la = line_addr & _LINE_MASK
+        found = self.find_line(la)
+        if found is not None:
+            set_idx, way = found
+            line = self.sets[set_idx].lines[way]
+            line.reused = True
+            line.dirty = True
+            self.repl.on_hit(set_idx, way, 0)
+            return
+        self._warm_install(la, True, 0, is_prefetch=False)
+
+    # ------------------------------------------------------------------
+    # Warm-state snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_warm_state(self) -> "CacheWarmState":
+        """Deep-copied warm state: tag array + replacement + prefetcher."""
+        from repro.sim.warmstate import CacheWarmState
+
+        if self.mshr:
+            raise SimulationError(
+                f"{self.name}: cannot snapshot with outstanding MSHRs "
+                "(snapshots require a functional warmup)")
+        lines: List[List[Optional[Tuple[int, bool, int, bool, bool]]]] = []
+        for cset in self.sets:
+            lines.append([
+                (ln.line_addr, ln.dirty, ln.signature, ln.reused,
+                 ln.prefetched) if ln.valid else None
+                for ln in cset.lines
+            ])
+        return CacheWarmState(
+            lines=lines,
+            repl=copy.deepcopy(self.repl),
+            prefetcher=copy.deepcopy(self.prefetcher),
+        )
+
+    def restore_warm_state(self, state: "CacheWarmState") -> None:
+        """Overwrite this cache's state with a snapshot's (deep copies)."""
+        if len(state.lines) != self.num_sets or (
+                state.lines and len(state.lines[0]) != self.ways):
+            raise SimulationError(
+                f"{self.name}: snapshot geometry mismatch "
+                f"({len(state.lines)} sets vs {self.num_sets})")
+        for set_idx, row in enumerate(state.lines):
+            tags = self._tags[set_idx]
+            tags.clear()
+            for way, data in enumerate(row):
+                line = self.sets[set_idx].lines[way]
+                if data is None:
+                    line.reset()
+                    continue
+                la, dirty, signature, reused, prefetched = data
+                line.valid = True
+                line.dirty = dirty
+                line.line_addr = la
+                line.signature = signature
+                line.reused = reused
+                line.prefetched = prefetched
+                tags[la] = way
+        self.repl = copy.deepcopy(state.repl)
+        if self.prefetcher is not None and state.prefetcher is not None:
+            self.prefetcher = copy.deepcopy(state.prefetcher)

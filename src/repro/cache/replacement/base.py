@@ -17,7 +17,16 @@ from repro.cache.line import CacheLine
 
 
 class ReplacementPolicy(abc.ABC):
-    """Per-cache replacement state and decisions."""
+    """Per-cache replacement state and decisions.
+
+    Snapshot contract: the warm-state checkpoint layer
+    (:mod:`repro.sim.warmstate`) captures and restores a policy with
+    ``copy.deepcopy``, so implementations must keep *all* mutable state
+    in deep-copyable attributes (plain containers, ints, or picklable
+    iterators such as ``itertools.count``) and must not hold references
+    to the engine, the cache, or other simulation components.  Every
+    shipped policy (LRU, SRRIP, SHiP, DRRIP) satisfies this.
+    """
 
     name: str = "base"
 

@@ -61,5 +61,15 @@ class WritebackPolicy:
     def on_undirty(self, line_addr: int) -> None:
         """A dirty line was written back (evicted or cleansed)."""
 
+    def reset_dirty_tracking(self) -> None:
+        """Drop any per-line dirty-tracking state.
+
+        Called before the warm-state machinery re-primes the policy by
+        replaying :meth:`on_dirty` for every resident dirty LLC line in
+        canonical (set, way) order - the same walk after a functional
+        warmup and after a checkpoint restore, so both execution paths
+        leave bit-identical policy state.
+        """
+
     def on_writeback(self, line_addr: int) -> None:
         """A writeback for ``line_addr`` was issued toward memory."""

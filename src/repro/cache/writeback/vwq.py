@@ -58,6 +58,9 @@ class VirtualWriteQueue(WritebackPolicy):
             if not bucket:
                 del self._rows[key]
 
+    def reset_dirty_tracking(self) -> None:
+        self._rows.clear()
+
     # -- proactive cleaning ------------------------------------------------
 
     def choose_victim(self, set_idx: int, default_way: int, now: int) -> int:

@@ -79,6 +79,8 @@ def _build_config(args) -> SystemConfig:
         if args.warmup < 0:
             raise ConfigError("--warmup must be >= 0")
         cfg = replace(cfg, warmup_instructions=args.warmup)
+    if getattr(args, "warmup_mode", None):
+        cfg = cfg.with_warmup_mode(args.warmup_mode)
     return cfg
 
 
@@ -116,6 +118,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="override per-core simulated instructions")
     parser.add_argument("--warmup", type=int, metavar="N",
                         help="override per-core warmup instructions")
+    parser.add_argument("--warmup-mode", dest="warmup_mode",
+                        choices=["detailed", "functional"],
+                        help="warmup execution mode: 'detailed' (default; "
+                             "full timing model) or 'functional' (state "
+                             "machines only - several times faster, and "
+                             "policy grids share one warmup via warm-state "
+                             "checkpoints)")
     parser.add_argument("--parallel", type=int, default=1, metavar="N",
                         help="simulate fresh runs across N processes")
     parser.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",

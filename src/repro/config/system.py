@@ -83,12 +83,23 @@ class SystemConfig:
     dram: DramConfig = field(default_factory=DramConfig)
     warmup_instructions: int = 5_000
     sim_instructions: int = 20_000
+    #: How warmup instructions are executed.  ``"detailed"`` (default)
+    #: drives them through the full timing model - bit-identical to the
+    #: historical behaviour.  ``"functional"`` drives them straight
+    #: through the cache/TLB/replacement/prefetcher state machines with
+    #: no engine events (no ROB, no MSHRs, no DRAM timing), which is
+    #: several times faster and enables warm-state checkpoint sharing
+    #: across an experiment grid (see ``docs/performance.md``).
+    warmup_mode: str = "detailed"
 
     def __post_init__(self) -> None:
         if self.cores < 1:
             raise ConfigError("need at least one core")
         if self.rob_size < self.issue_width:
             raise ConfigError("ROB must hold at least one issue group")
+        if self.warmup_mode not in ("detailed", "functional"):
+            raise ConfigError(
+                "warmup_mode must be 'detailed' or 'functional'")
 
     def with_writeback(self, policy: Optional[str]) -> "SystemConfig":
         """Copy of this config using the named LLC writeback policy."""
@@ -97,6 +108,10 @@ class SystemConfig:
     def with_replacement(self, policy: str) -> "SystemConfig":
         """Copy of this config using the named LLC replacement policy."""
         return replace(self, llc=replace(self.llc, replacement=policy))
+
+    def with_warmup_mode(self, mode: str) -> "SystemConfig":
+        """Copy of this config using the named warmup mode."""
+        return replace(self, warmup_mode=mode)
 
     def with_wq(self, capacity: int, high: Optional[int] = None,
                 low: Optional[int] = None) -> "SystemConfig":

@@ -95,6 +95,47 @@ class Core:
         self.finished = False
 
     # ------------------------------------------------------------------
+    # Functional warmup
+    # ------------------------------------------------------------------
+
+    def warm_up(self, budget: int) -> None:
+        """Drive ``budget`` trace records through the warm state machines.
+
+        The functional counterpart of the detailed warmup phase: every
+        record updates the TLBs, the instruction-fetch line cursor, and
+        the cache hierarchy's tag/replacement/prefetcher state through
+        :meth:`~repro.cache.cache.Cache.warm_access` - with zero engine
+        events (no ROB, no MSHRs, no DRAM timing).  One record counts as
+        one warmed instruction, so exactly ``budget`` records are
+        consumed; the trace iterator then continues seamlessly into the
+        measurement phase.
+        """
+        trace_next = self.trace.__next__
+        l1d_warm = self.l1d.warm_access
+        l1i_warm = self.l1i.warm_access
+        dtlb_translate = self.dtlb.translate
+        itlb_translate = self.itlb.translate
+        last_line = self._last_fetch_line
+        for _ in range(budget):
+            kind, addr, pc = trace_next()
+            line = pc >> LINE_BITS
+            if line != last_line:
+                last_line = line
+                itlb_translate(pc)
+                l1i_warm(pc, False, pc)
+            if kind == NONMEM:
+                continue
+            dtlb_translate(addr)
+            l1d_warm(addr, kind != LOAD, pc)
+        self._last_fetch_line = last_line
+
+    def skip_trace(self, records: int) -> None:
+        """Fast-forward the trace cursor (warm-state checkpoint restore)."""
+        trace_next = self.trace.__next__
+        for _ in range(records):
+            trace_next()
+
+    # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
 

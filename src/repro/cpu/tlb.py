@@ -11,10 +11,16 @@ targets).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 #: 4 KB pages.
 PAGE_BITS = 12
+
+#: One TLB's snapshot: per-set {page: recency stamp} plus the clock.
+TLBState = Tuple[List[Dict[int, int]], int]
+
+#: A hierarchy's snapshot: (L1 state, L2 state).
+HierarchyState = Tuple[TLBState, TLBState]
 
 
 @dataclass
@@ -60,6 +66,16 @@ class TLB:
         s[page] = self._clock
         return False
 
+    def snapshot(self) -> TLBState:
+        """Copy of the translation state (stats excluded)."""
+        return ([dict(s) for s in self._sets], self._clock)
+
+    def restore(self, state: TLBState) -> None:
+        """Overwrite the translation state with a snapshot's (copied)."""
+        sets, clock = state
+        self._sets = [dict(s) for s in sets]
+        self._clock = clock
+
 
 class TLBHierarchy:
     """L1 TLB backed by a shared L2 TLB; returns total added cycles."""
@@ -86,3 +102,13 @@ class TLBHierarchy:
         if self.l2.lookup(addr):
             return self.l2_latency
         return self.l2_latency + self.walk_latency
+
+    def snapshot(self) -> HierarchyState:
+        """Copy of both levels' translation state."""
+        return (self.l1.snapshot(), self.l2.snapshot())
+
+    def restore(self, state: HierarchyState) -> None:
+        """Overwrite both levels' translation state with a snapshot's."""
+        l1_state, l2_state = state
+        self.l1.restore(l1_state)
+        self.l2.restore(l2_state)

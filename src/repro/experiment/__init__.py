@@ -24,7 +24,7 @@ from repro.experiment.resultset import DEFAULT_METRICS, Observation, \
 from repro.experiment.serialize import result_from_dict, result_to_dict
 from repro.experiment.session import Session, SessionStats, simulate
 from repro.experiment.spec import AXIS_MODIFIERS, BASELINE, INHERIT, Axis, \
-    ExperimentSpec, GridPoint, RunPlan, RunSpec, make_axis
+    ExperimentSpec, GridPoint, RunPlan, RunSpec, make_axis, warm_group_key
 
 __all__ = [
     "AXIS_MODIFIERS",
@@ -47,4 +47,5 @@ __all__ = [
     "result_from_dict",
     "result_to_dict",
     "simulate",
+    "warm_group_key",
 ]

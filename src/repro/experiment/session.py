@@ -7,6 +7,15 @@ on-disk :class:`~repro.experiment.cache.ResultCache`, or a fresh
 simulation - serially, or across a ``multiprocessing`` pool when
 ``parallel > 1``.  Simulations are deterministic in (config, workload,
 seed), so serial and parallel execution produce identical results.
+
+Runs using functional warmup (``warmup_mode="functional"``) are
+additionally grouped by :func:`~repro.experiment.spec.warm_group_key` -
+(workload, warmup-relevant config hash, seed).  Each group executes its
+warmup exactly once and forks the resulting warm-state snapshot into
+every member (e.g. every policy column of a comparison grid), turning an
+N-policy grid's warmup cost from N into 1.  Parallel execution
+distributes whole groups across workers so snapshots never cross process
+boundaries.
 """
 
 from __future__ import annotations
@@ -14,17 +23,21 @@ from __future__ import annotations
 import multiprocessing
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.config.system import SystemConfig
 from repro.experiment.cache import ResultCache
 from repro.experiment.resultset import ResultSet, from_points
-from repro.experiment.spec import ExperimentSpec, RunPlan, RunSpec
+from repro.experiment.spec import ExperimentSpec, RunPlan, RunSpec, \
+    warm_group_key
 from repro.sim.results import RunResult
 from repro.sim.system import System
 from repro.workloads.suites import trace_factory
 
 ProgressFn = Callable[[int, int, RunSpec], None]
+
+#: One (run key, spec) work item.
+KeyedSpec = Tuple[str, RunSpec]
 
 
 def simulate(spec: RunSpec) -> RunResult:
@@ -34,9 +47,38 @@ def simulate(spec: RunSpec) -> RunResult:
     return system.run(label=spec.label or spec.workload)
 
 
-def _simulate_keyed(item: Tuple[str, RunSpec]) -> Tuple[str, RunResult]:
+def _simulate_keyed(item: KeyedSpec) -> Tuple[str, RunResult]:
     key, spec = item
     return key, simulate(spec)
+
+
+def _simulate_group(
+    items: List[KeyedSpec],
+) -> Tuple[List[Tuple[str, RunResult]], int, int]:
+    """Simulate one warm-sharing group of runs.
+
+    The first member executes the (functional) warmup and snapshots the
+    warm state; every other member restores the snapshot instead of
+    re-warming.  Returns ``(keyed results, warmups executed, checkpoint
+    restores)`` so the session can account where warmup time went.
+    """
+    if len(items) == 1:
+        key, spec = items[0]
+        warmups = 1 if spec.config.warmup_instructions > 0 else 0
+        return [(key, simulate(spec))], warmups, 0
+    pairs: List[Tuple[str, RunResult]] = []
+    snapshot = None
+    restores = 0
+    for key, spec in items:
+        factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
+        system = System(spec.config, factory)
+        if snapshot is None:
+            snapshot = system.snapshot_warm_state()
+        else:
+            system.restore_warm_state(snapshot)
+            restores += 1
+        pairs.append((key, system.run(label=spec.label or spec.workload)))
+    return pairs, 1, restores
 
 
 @dataclass
@@ -48,6 +90,11 @@ class SessionStats:
     memo_hits: int = 0
     disk_hits: int = 0
     simulated: int = 0
+    #: Warmup phases executed from scratch (detailed or functional).
+    warmups_executed: int = 0
+    #: Simulations that adopted a shared warm-state snapshot instead of
+    #: executing their own warmup.
+    checkpoint_restores: int = 0
 
 
 class Session:
@@ -63,13 +110,19 @@ class Session:
     cache:
         Disable to skip the on-disk cache entirely (the in-memory memo
         still deduplicates within the session).
+    checkpoints:
+        Enable warm-state checkpoint sharing for functional-warmup runs
+        (the default).  Disable to make every run execute its own
+        warmup, e.g. to measure the checkpoint layer itself.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
-                 parallel: int = 1, cache: bool = True) -> None:
+                 parallel: int = 1, cache: bool = True,
+                 checkpoints: bool = True) -> None:
         self.parallel = max(1, int(parallel))
         self.cache: Optional[ResultCache] = \
             ResultCache(cache_dir) if cache else None
+        self.checkpoints = checkpoints
         self.stats = SessionStats()
         self._memo: Dict[str, RunResult] = {}
 
@@ -108,17 +161,58 @@ class Session:
         name = plan.spec.name if plan.spec else ""
         return from_points(plan.points, self._memo, name=name)
 
-    def _execute(self, missing: List[Tuple[str, RunSpec]]):
+    def _warm_groups(self,
+                     missing: List[KeyedSpec]) -> List[List[KeyedSpec]]:
+        """Partition work items into warm-checkpoint-sharing groups.
+
+        Runs that cannot share (detailed warmup, zero warmup, or
+        ``checkpoints=False``) become singleton groups; shareable runs
+        group by :func:`warm_group_key`.  First-seen plan order is
+        preserved within and across groups.
+
+        Whole groups are dispatched to one pool worker, so with few
+        groups and many workers the pool would idle; in that case the
+        largest groups are split until every worker has a chunk.  Each
+        chunk re-warms once - trading some warmup sharing back for
+        parallelism - which never changes results: a restored run is
+        bit-identical to a freshly warmed one.
+        """
+        groups: Dict[object, List[KeyedSpec]] = {}
+        for key, spec in missing:
+            group_key = warm_group_key(spec) if self.checkpoints else None
+            groups.setdefault(
+                group_key if group_key is not None else ("solo", key),
+                []).append((key, spec))
+        chunks = list(groups.values())
+        while len(chunks) < min(self.parallel, len(missing)):
+            largest = max(range(len(chunks)), key=lambda i: len(chunks[i]))
+            group = chunks[largest]
+            if len(group) < 2:
+                break
+            mid = (len(group) + 1) // 2
+            chunks[largest:largest + 1] = [group[:mid], group[mid:]]
+        return chunks
+
+    def _execute(
+        self, missing: List[KeyedSpec],
+    ) -> Iterator[Tuple[str, RunResult]]:
         if not missing:
             return
-        workers = min(self.parallel, len(missing))
+        groups = self._warm_groups(missing)
+        workers = min(self.parallel, len(groups))
         if workers <= 1:
-            for item in missing:
-                yield _simulate_keyed(item)
+            for group in groups:
+                pairs, warmups, restores = _simulate_group(group)
+                self.stats.warmups_executed += warmups
+                self.stats.checkpoint_restores += restores
+                yield from pairs
             return
         with multiprocessing.Pool(processes=workers) as pool:
-            for keyed in pool.imap_unordered(_simulate_keyed, missing):
-                yield keyed
+            for pairs, warmups, restores in pool.imap_unordered(
+                    _simulate_group, groups):
+                self.stats.warmups_executed += warmups
+                self.stats.checkpoint_restores += restores
+                yield from pairs
 
     # -- single runs ---------------------------------------------------
 
@@ -140,6 +234,8 @@ class Session:
             else:
                 result = simulate(spec)
                 self.stats.simulated += 1
+                if spec.config.warmup_instructions > 0:
+                    self.stats.warmups_executed += 1
                 if self.cache:
                     self.cache.put(key, spec, result)
             self._memo[key] = result

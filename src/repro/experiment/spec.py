@@ -97,6 +97,34 @@ class RunSpec:
         }
 
 
+def warm_group_key(spec: RunSpec) -> Optional[str]:
+    """Checkpoint-sharing key, or None when this run cannot share warmup.
+
+    Runs with equal keys warm identical state - same workload, seed, and
+    warmup-relevant configuration (core count, cache geometries,
+    replacement/prefetcher settings, warmup budget) - so a
+    :class:`~repro.experiment.Session` executes their warmup once and
+    forks the snapshot.  Only functional-mode warmups are shareable:
+    detailed warm state includes in-flight timing that cannot be
+    checkpointed.  Policy/writeback and DRAM variants deliberately hash
+    equal, which is what turns an N-policy grid's warmup cost from N
+    into 1.
+    """
+    from repro.sim.warmstate import warm_config_signature
+
+    config = spec.config
+    if config.warmup_mode != "functional" or \
+            config.warmup_instructions <= 0:
+        return None
+    payload = {
+        "version": RUN_KEY_VERSION,
+        "workload": spec.workload,
+        "seed": spec.seed,
+        "warm_config": warm_config_signature(config),
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()[:24]
+
+
 # ----------------------------------------------------------------------
 # Sweep axes
 # ----------------------------------------------------------------------

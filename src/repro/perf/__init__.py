@@ -21,10 +21,14 @@ from repro.perf.scenarios import (
     GOLDEN_SIM_INSTRUCTIONS,
     GOLDEN_WARMUP_INSTRUCTIONS,
     SCENARIOS,
+    WARMUP_SCENARIO,
     PerfScenario,
+    WarmupScenario,
     bench_report,
     measure_scenario,
+    measure_warmup_scenario,
     scenario_config,
+    warmup_scenario_config,
 )
 
 __all__ = [
@@ -32,8 +36,12 @@ __all__ = [
     "GOLDEN_SIM_INSTRUCTIONS",
     "GOLDEN_WARMUP_INSTRUCTIONS",
     "SCENARIOS",
+    "WARMUP_SCENARIO",
     "PerfScenario",
+    "WarmupScenario",
     "bench_report",
     "measure_scenario",
+    "measure_warmup_scenario",
     "scenario_config",
+    "warmup_scenario_config",
 ]

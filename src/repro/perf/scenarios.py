@@ -1,6 +1,7 @@
 """Performance scenarios: what the perf harness times, and how.
 
-Three scenarios cover the simulator's qualitatively different hot paths:
+Three throughput scenarios cover the simulator's qualitatively different
+hot paths:
 
 ``write_stream``
     ``copy`` on the 8-core system - a write-heavy streaming kernel that
@@ -17,13 +18,22 @@ The event count for a given (config, workload, seed) is deterministic
 (the golden-stats test pins the run's statistics bit-for-bit), so
 events/sec moves only when the host or the simulator implementation
 changes - which is exactly what a perf trajectory should measure.
+
+A fourth, differently shaped scenario tracks the warmup layer:
+
+``paper_warmup``
+    A warmup-dominated two-policy comparison grid, timed end-to-end
+    twice - per-run detailed warmup vs functional warmup with shared
+    warm-state checkpoints.  Events/sec is meaningless here (functional
+    warmup fires no events by design), so the scenario reports wall
+    seconds per strategy and their ratio, ``speedup_vs_detailed``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import gmean
 from repro.config.presets import small_8core, small_16core
@@ -43,6 +53,11 @@ GOLDEN_SIM_INSTRUCTIONS = 3_000
 #: Instruction budgets for timed runs: (warmup, sim) per mode.
 _FULL_BUDGET = (8_000, 24_000)
 _QUICK_BUDGET = (2_000, 6_000)
+
+#: Budgets for the warmup-dominated scenario: warmup 10x the measured
+#: window, the paper-scale proportion (25M warmup / 100M x 4 policies).
+_WARM_FULL_BUDGET = (60_000, 6_000)
+_WARM_QUICK_BUDGET = (12_000, 2_000)
 
 
 @dataclass(frozen=True)
@@ -84,6 +99,35 @@ SCENARIOS: List[PerfScenario] = [
         description="16-core two-channel DDR5 mix (event-queue scaling)",
     ),
 ]
+
+
+@dataclass(frozen=True)
+class WarmupScenario:
+    """The warmup-layer scenario: a policy grid timed per warmup strategy."""
+
+    name: str
+    workload: str
+    preset: str
+    policies: Tuple[str, ...]
+    description: str
+
+
+WARMUP_SCENARIO = WarmupScenario(
+    name="paper_warmup",
+    workload="lbm",
+    preset="small_8core",
+    policies=("baseline", "bard-h"),
+    description="warmup-dominated two-policy grid: functional warmup "
+                "with shared warm-state checkpoints vs per-run detailed "
+                "warmup",
+)
+
+
+def warmup_scenario_config(quick: bool = False) -> SystemConfig:
+    """Warmup-dominated system config (mode set per measurement leg)."""
+    warmup, sim = _WARM_QUICK_BUDGET if quick else _WARM_FULL_BUDGET
+    return replace(small_8core(), warmup_instructions=warmup,
+                   sim_instructions=sim)
 
 
 def scenario_config(scenario: PerfScenario, quick: bool = False,
@@ -137,18 +181,88 @@ def measure_scenario(scenario: PerfScenario, quick: bool = False,
     }
 
 
+def measure_warmup_scenario(quick: bool = False, repeats: int = 2,
+                            seed: int = 7) -> Dict[str, object]:
+    """Time the warmup-dominated grid under both warmup strategies.
+
+    Runs the :data:`WARMUP_SCENARIO` policy grid end-to-end through a
+    fresh cache-disabled :class:`~repro.experiment.Session` twice per
+    repeat: once with per-run detailed warmup (the historical baseline
+    strategy) and once with functional warmup plus warm-state checkpoint
+    sharing.  The best wall time per strategy is kept and their ratio
+    reported as ``speedup_vs_detailed`` - the end-to-end win of the
+    warmup layer on grid-shaped studies.
+    """
+    from repro.experiment import ExperimentSpec, Session
+
+    scenario = WARMUP_SCENARIO
+    config = warmup_scenario_config(quick)
+
+    def grid(mode: str) -> "ExperimentSpec":
+        return ExperimentSpec(
+            workloads=scenario.workload,
+            configs=replace(config, warmup_mode=mode),
+            policies=list(scenario.policies),
+            seeds=seed,
+            name=f"{scenario.name}:{mode}",
+        )
+
+    best: Dict[str, float] = {}
+    session_stats: Dict[str, object] = {}
+    for mode, checkpoints in (("detailed", False), ("functional", True)):
+        for _ in range(max(1, repeats)):
+            session = Session(cache=False, checkpoints=checkpoints)
+            start = time.perf_counter()
+            session.run(grid(mode))
+            seconds = time.perf_counter() - start
+            if mode not in best or seconds < best[mode]:
+                best[mode] = seconds
+                session_stats[mode] = session.stats
+    functional = session_stats["functional"]
+    return {
+        "name": scenario.name,
+        "workload": scenario.workload,
+        "preset": scenario.preset,
+        "description": scenario.description,
+        "policies": list(scenario.policies),
+        "warmup_instructions": config.warmup_instructions,
+        "sim_instructions": config.sim_instructions,
+        "seed": seed,
+        "detailed_seconds": round(best["detailed"], 4),
+        "functional_seconds": round(best["functional"], 4),
+        "speedup_vs_detailed": round(
+            best["detailed"] / best["functional"], 3),
+        "warmups_executed": functional.warmups_executed,
+        "checkpoint_restores": functional.checkpoint_restores,
+    }
+
+
 def bench_report(entries: List[Dict[str, object]], mode: str,
                  repeats: int,
                  baseline: Optional[Dict[str, object]] = None,
+                 warmup: Optional[Dict[str, object]] = None,
                  ) -> Dict[str, object]:
     """Assemble the BENCH_simcore.json payload.
 
     ``baseline`` is the parsed ``benchmarks/perf/baseline_seed.json``
     (the pre-overhaul engine measured on the reference host); when given,
-    the report carries the geomean speedup against it.  Cross-host
-    comparisons are indicative only - the trajectory is meaningful when
-    baseline and measurement ran on the same machine.
+    the report carries the geomean speedup against it, and every scenario
+    entry with a per-scenario baseline gains its own
+    ``speedup_vs_baseline``.  Cross-host comparisons are indicative only -
+    the trajectory is meaningful when baseline and measurement ran on the
+    same machine.  ``warmup`` is the entry from
+    :func:`measure_warmup_scenario`; it is reported under
+    ``warmup_scenario`` (its metric is wall seconds, not events/sec, so
+    it stays out of the throughput geomean).
     """
+    base_scenarios: Dict[str, Dict[str, object]] = \
+        dict(baseline.get("scenarios", {})) if baseline else {}
+    for entry in entries:
+        base_entry = base_scenarios.get(str(entry["name"]))
+        if base_entry and base_entry.get("events_per_sec"):
+            entry["speedup_vs_baseline"] = round(
+                float(entry["events_per_sec"])
+                / float(base_entry["events_per_sec"]), 3)
     gm = round(gmean(e["events_per_sec"] for e in entries), 1)
     report: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
@@ -166,4 +280,6 @@ def bench_report(entries: List[Dict[str, object]], mode: str,
             "geomean_events_per_sec": base_gm,
             "speedup_vs_baseline": round(gm / base_gm, 3) if base_gm else None,
         }
+    if warmup is not None:
+        report["warmup_scenario"] = warmup
     return report

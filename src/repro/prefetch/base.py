@@ -19,7 +19,13 @@ class PrefetcherStats:
 
 
 class Prefetcher(abc.ABC):
-    """Base class for cache prefetchers."""
+    """Base class for cache prefetchers.
+
+    Snapshot contract: warm-state checkpoints deep-copy prefetchers, so
+    keep all mutable state in deep-copyable attributes and hold no
+    references to the engine or the owning cache (the cache calls
+    :meth:`on_access` and issues the returned targets itself).
+    """
 
     name = "base"
 

@@ -147,18 +147,34 @@ class Engine:
         finally:
             self.events_fired += fired
 
-    def run_for(self, ticks: int) -> None:
-        """Run until simulated time advances by ``ticks``."""
+    def run_for(self, ticks: int, max_events: int = 500_000_000) -> None:
+        """Run until simulated time advances by ``ticks``.
+
+        Honours the same run controls as :meth:`run`: a :meth:`stop`
+        call from inside an event halts at that event boundary (the
+        clock stays at the stopping event's tick), and ``max_events``
+        bounds the dispatch count so a zero-delay self-rescheduling
+        event cannot spin forever inside the window.
+        """
         deadline = self.now + ticks
         heap = self._heap
         pop = heapq.heappop
         fired = 0
+        limit = max_events
+        self._stopped = False
         try:
             while heap and heap[0][0] <= deadline:
                 tick, _, fn, args = pop(heap)
                 self.now = tick
                 fired += 1
                 fn(*args)
+                if self._stopped:
+                    return
+                if fired > limit:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely an event storm"
+                    )
         finally:
             self.events_fired += fired
         if self.now < deadline:

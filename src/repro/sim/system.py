@@ -19,10 +19,13 @@ from repro.dram.channel import Channel, ChannelStats
 from repro.dram.mapping import ZenMapping
 from repro.dram.stats import SubChannelStats
 from repro.dram.timing import ddr5_4800_x4, ddr5_4800_x8
+from repro.errors import SimulationError
 from repro.prefetch import make_prefetcher
 from repro.sim.engine import Engine
 from repro.sim.memctrl import MemoryController
 from repro.sim.results import RunResult
+from repro.sim.warmstate import CoreWarmState, WarmState, \
+    warm_config_signature
 
 TraceFactory = Callable[[int], Iterator[TraceRecord]]
 
@@ -83,6 +86,7 @@ class System:
         self.l1ds: List[Cache] = []
         self.l1is: List[Cache] = []
         self._finished_count = 0
+        self._warmed = False
         for core_id in range(config.cores):
             l2 = self._make_cache(f"L2-{core_id}", config.l2, self.llc)
             l1d = self._make_cache(f"L1D-{core_id}", config.l1d, l2)
@@ -156,22 +160,135 @@ class System:
             if isinstance(self.llc_policy, BardPolicy):
                 self.llc_policy.accuracy = type(self.llc_policy.accuracy)()
 
+    # ------------------------------------------------------------------
+    # Warmup and warm-state checkpoints
+    # ------------------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Execute the warmup phase now (idempotent; :meth:`run` skips it).
+
+        ``warmup_mode="detailed"`` runs the warmup through the full
+        timing model, exactly as :meth:`run` historically did.
+        ``"functional"`` drives each core's trace straight through the
+        cache/TLB/replacement/prefetcher state machines with zero engine
+        events - no ROB, no MSHRs, no DRAM timing - so the engine clock
+        stays at 0 and measurement starts from a warm hierarchy at tick
+        0.  Either way statistics are reset so measurement begins a
+        clean epoch.
+        """
+        if self._warmed:
+            return
+        self._warmed = True
+        config = self.config
+        if config.warmup_instructions <= 0:
+            return
+        if config.warmup_mode == "functional":
+            for core in self.cores:
+                core.warm_up(config.warmup_instructions)
+            self._prime_writeback_policy()
+        else:
+            for core in self.cores:
+                core.start()
+            self._run_phase()
+        self.reset_stats()
+
+    def _prime_writeback_policy(self) -> None:
+        """Rebuild the LLC policy's dirty index from the warm tag array.
+
+        Replays ``on_dirty`` for every resident dirty LLC line in
+        canonical (set, way) order.  Running the same walk after a
+        functional warmup and after a checkpoint restore makes both
+        paths leave bit-identical policy state, regardless of the order
+        lines became dirty while warming.
+        """
+        policy = self.llc_policy
+        if policy is None:
+            return
+        policy.reset_dirty_tracking()
+        for cset in self.llc.sets:
+            for line in cset.lines:
+                if line.valid and line.dirty:
+                    policy.on_dirty(line.line_addr)
+
+    def _warm_caches(self) -> List[Cache]:
+        """Caches in canonical snapshot order."""
+        return [self.llc, *self.l2s, *self.l1ds, *self.l1is]
+
+    def snapshot_warm_state(self) -> WarmState:
+        """Deep-copied post-warmup state, restorable into a fresh system.
+
+        Requires ``warmup_mode="functional"``; warms the system first if
+        :meth:`warm_up` has not run yet.  The snapshot is independent of
+        this system - its caches/TLBs/traces may keep running without
+        disturbing it - and independent of the LLC writeback policy, so
+        one snapshot forks into every policy variant of a comparison
+        grid (see :meth:`restore_warm_state`).
+        """
+        if self.config.warmup_mode != "functional":
+            raise SimulationError(
+                "warm-state snapshots require warmup_mode='functional' "
+                "(a detailed warmup leaves in-flight timing state that "
+                "cannot be checkpointed)")
+        self.warm_up()
+        if self.engine.now or self.engine.events_fired:
+            raise SimulationError(
+                "snapshot_warm_state must run before measurement starts")
+        consumed = self.config.warmup_instructions
+        return WarmState(
+            signature=warm_config_signature(self.config),
+            caches=[c.snapshot_warm_state() for c in self._warm_caches()],
+            cores=[
+                CoreWarmState(
+                    dtlb=core.dtlb.snapshot(),
+                    itlb=core.itlb.snapshot(),
+                    last_fetch_line=core._last_fetch_line,
+                    consumed=consumed,
+                )
+                for core in self.cores
+            ],
+        )
+
+    def restore_warm_state(self, state: WarmState) -> None:
+        """Adopt a snapshot's warm state instead of executing warmup.
+
+        Must be called on a freshly built system whose warmup-relevant
+        configuration matches the snapshot's (same cores, cache
+        geometries, replacement/prefetcher settings, and warmup budget -
+        the DRAM configuration and LLC writeback policy may differ).
+        The caller is responsible for building the system from the same
+        (workload, seed): the snapshot records how far each core's trace
+        was consumed, and this method fast-forwards the fresh trace
+        iterators to that point.
+        """
+        if warm_config_signature(self.config) != state.signature:
+            raise SimulationError(
+                "warm-state snapshot does not match this system's "
+                "warmup-relevant configuration")
+        if self.engine.now or self.engine.events_fired or self._warmed:
+            raise SimulationError(
+                "restore_warm_state requires a freshly built system")
+        for cache, cache_state in zip(self._warm_caches(), state.caches):
+            cache.restore_warm_state(cache_state)
+        for core, core_state in zip(self.cores, state.cores):
+            core.dtlb.restore(core_state.dtlb)
+            core.itlb.restore(core_state.itlb)
+            core._last_fetch_line = core_state.last_fetch_line
+            core.skip_trace(core_state.consumed)
+        self._prime_writeback_policy()
+        self._warmed = True
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
     def run(self, label: Optional[str] = None) -> RunResult:
         """Warmup, reset statistics, measure, and collect the result."""
         config = self.config
+        self.warm_up()
+        start_tick = self.engine.now
         for core in self.cores:
+            core.reset_measurement(config.sim_instructions)
             core.start()
-        if config.warmup_instructions > 0:
-            self._run_phase()
-            self.reset_stats()
-            start_tick = self.engine.now
-            for core in self.cores:
-                core.reset_measurement(config.sim_instructions)
-                core.start()
-        else:
-            start_tick = 0
-            for core in self.cores:
-                core.budget = config.sim_instructions
         self._run_phase()
         self.memctrl.finalize()
 

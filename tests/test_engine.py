@@ -74,6 +74,34 @@ class TestRunControl:
         with pytest.raises(SimulationError):
             eng.run(max_events=100)
 
+    def test_run_for_honours_stop(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(5, lambda: (fired.append(5), eng.stop()))
+        eng.schedule(10, lambda: fired.append(10))
+        eng.run_for(100)
+        assert fired == [5]
+        assert eng.now == 5
+        assert eng.pending == 1
+
+    def test_run_for_detects_event_storm(self):
+        eng = Engine()
+        def storm():
+            eng.schedule(eng.now, storm)  # zero-delay self-reschedule
+        eng.schedule(0, storm)
+        with pytest.raises(SimulationError):
+            eng.run_for(10, max_events=100)
+
+    def test_run_for_resumes_after_stop(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(5, lambda: (fired.append(5), eng.stop()))
+        eng.schedule(10, lambda: fired.append(10))
+        eng.run_for(100)
+        eng.run_for(100)
+        assert fired == [5, 10]
+        assert eng.now == 105
+
     def test_step_empty_returns_false(self):
         assert Engine().step() is False
 
