@@ -14,12 +14,18 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/perf/run_perf.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/perf/run_perf.py --check 1.5
     PYTHONPATH=src python benchmarks/perf/run_perf.py --check-warmup 3
+    PYTHONPATH=src python benchmarks/perf/run_perf.py \\
+        --check-sampling 5 --max-sampling-error 2
 
 ``--check R`` exits non-zero unless the measured geomean is at least
 ``R`` times the checked-in seed baseline (same-host comparisons only;
 see ``docs/performance.md``).  ``--check-warmup R`` gates the warmup
 scenario's end-to-end speedup the same way (host-independent: both legs
-are measured in the same invocation).
+are measured in the same invocation).  ``--check-sampling R`` gates the
+``paper_sampling`` scenario's sampled-vs-full speedup, and
+``--max-sampling-error PCT`` its grid-averaged relative error on mean
+IPC and write BLP (the error figures are deterministic in the
+simulation, so this gate is host-independent; see ``docs/sampling.md``).
 """
 
 from __future__ import annotations
@@ -68,10 +74,25 @@ def main(argv=None) -> int:
                         help="fail unless functional warmup + checkpoints "
                              "beat per-run detailed warmup by >= RATIO x "
                              "on the warmup-dominated grid")
+    parser.add_argument("--skip-sampling-scenario", action="store_true",
+                        dest="skip_sampling",
+                        help="skip the sampled-vs-full long-trace grid "
+                             "scenario")
+    parser.add_argument("--check-sampling", type=float, metavar="RATIO",
+                        dest="check_sampling", default=None,
+                        help="fail unless interval sampling beats full "
+                             "detailed measurement by >= RATIO x on the "
+                             "long-trace grid")
+    parser.add_argument("--max-sampling-error", type=float, metavar="PCT",
+                        dest="max_sampling_error", default=None,
+                        help="fail if the sampled estimates' grid-averaged "
+                             "relative error on mean IPC or write BLP "
+                             "exceeds PCT percent")
     args = parser.parse_args(argv)
 
-    from repro.perf import SCENARIOS, WARMUP_SCENARIO, bench_report, \
-        measure_scenario, measure_warmup_scenario
+    from repro.perf import SAMPLING_SCENARIO, SCENARIOS, WARMUP_SCENARIO, \
+        bench_report, measure_sampling_scenario, measure_scenario, \
+        measure_warmup_scenario
 
     mode = "quick" if args.quick else "full"
     entries = []
@@ -98,8 +119,26 @@ def main(argv=None) -> int:
               f"({warmup_entry['warmups_executed']} warmup, "
               f"{warmup_entry['checkpoint_restores']} restores)")
 
+    sampling_entry = None
+    if not args.skip_sampling:
+        ss = SAMPLING_SCENARIO
+        print(f"[{ss.name}] {list(ss.workloads)} x {list(ss.policies)} "
+              f"grid, sampled vs full detailed ({mode}) ...", flush=True)
+        # One repeat by default: the full leg is deliberately expensive
+        # (that is what the subsystem speeds up) and the error figures
+        # are deterministic regardless of repeats.
+        sampling_entry = measure_sampling_scenario(quick=args.quick,
+                                                   repeats=1)
+        print(f"  full {sampling_entry['full_seconds']}s vs sampled "
+              f"{sampling_entry['sampled_seconds']}s "
+              f"-> {sampling_entry['speedup_vs_full']}x "
+              f"(IPC err {sampling_entry['ipc_grid_error_pct']}%, "
+              f"write BLP err "
+              f"{sampling_entry['write_blp_grid_error_pct']}%)")
+
     report = bench_report(entries, mode=mode, repeats=args.repeats,
-                          baseline=_load_baseline(), warmup=warmup_entry)
+                          baseline=_load_baseline(), warmup=warmup_entry,
+                          sampling=sampling_entry)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     gm = report["geomean_events_per_sec"]
     print(f"geomean: {gm:,} events/sec -> {args.output}")
@@ -129,6 +168,27 @@ def main(argv=None) -> int:
                   f"{args.check_warmup}x", file=sys.stderr)
             return 1
         print(f"PASS: warmup >= {args.check_warmup}x")
+    if args.check_sampling is not None or \
+            args.max_sampling_error is not None:
+        if sampling_entry is None:
+            print("sampling gates requested but the sampling scenario "
+                  "was skipped", file=sys.stderr)
+            return 2
+    if args.check_sampling is not None:
+        if sampling_entry["speedup_vs_full"] < args.check_sampling:
+            print(f"FAIL: sampling scenario "
+                  f"{sampling_entry['speedup_vs_full']}x < required "
+                  f"{args.check_sampling}x", file=sys.stderr)
+            return 1
+        print(f"PASS: sampling >= {args.check_sampling}x")
+    if args.max_sampling_error is not None:
+        worst = max(sampling_entry["ipc_grid_error_pct"],
+                    sampling_entry["write_blp_grid_error_pct"])
+        if worst > args.max_sampling_error:
+            print(f"FAIL: sampling error {worst}% > allowed "
+                  f"{args.max_sampling_error}%", file=sys.stderr)
+            return 1
+        print(f"PASS: sampling error <= {args.max_sampling_error}%")
     return 0
 
 

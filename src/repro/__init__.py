@@ -43,6 +43,7 @@ from repro.experiment import (
     Session,
     make_axis,
 )
+from repro.sampling import MetricEstimate, SamplingConfig, SamplingSummary
 from repro.sim import (
     PolicyComparison,
     RunResult,
@@ -77,7 +78,10 @@ __all__ = [
     "ResultSet",
     "RunPlan",
     "RunSpec",
+    "MetricEstimate",
     "Session",
+    "SamplingConfig",
+    "SamplingSummary",
     "QUICK_WORKLOADS",
     "RunResult",
     "System",

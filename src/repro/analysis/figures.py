@@ -11,19 +11,23 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Dict, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 
 def series_to_csv(
     labels: Sequence[str],
     series: Dict[str, Sequence[float]],
     index_name: str = "workload",
+    errors: Optional[Dict[str, Sequence[float]]] = None,
 ) -> str:
     """Render one figure's data as CSV text.
 
     ``labels`` is the x-axis (workload names, queue sizes, ...);
     ``series`` maps a series name (e.g. "baseline", "bard-h") to one value
-    per label.
+    per label.  ``errors`` optionally maps a subset of the series names to
+    per-label error-bar half-widths (e.g. sampled-run confidence
+    intervals from :meth:`~repro.experiment.ResultSet.error_bars`); each
+    becomes a ``<name>_err`` column next to its series.
     """
     for name, values in series.items():
         if len(values) != len(labels):
@@ -31,11 +35,27 @@ def series_to_csv(
                 f"series {name!r} has {len(values)} values for "
                 f"{len(labels)} labels"
             )
+    errors = errors or {}
+    for name, values in errors.items():
+        if name not in series:
+            raise ValueError(
+                f"error bars for unknown series {name!r}; have "
+                f"{sorted(series)}")
+        if len(values) != len(labels):
+            raise ValueError(
+                f"error series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels")
+    columns: list = []
+    for name in series:
+        columns.append((name, series[name]))
+        if name in errors:
+            columns.append((f"{name}_err", errors[name]))
     buf = io.StringIO()
     writer = csv.writer(buf)
-    writer.writerow([index_name, *series.keys()])
+    writer.writerow([index_name, *(name for name, _ in columns)])
     for i, label in enumerate(labels):
-        writer.writerow([label, *(f"{series[s][i]:.4f}" for s in series)])
+        writer.writerow(
+            [label, *(f"{values[i]:.4f}" for _, values in columns)])
     return buf.getvalue()
 
 
@@ -44,11 +64,13 @@ def write_figure_csv(
     labels: Sequence[str],
     series: Dict[str, Sequence[float]],
     index_name: str = "workload",
+    errors: Optional[Dict[str, Sequence[float]]] = None,
 ) -> Path:
     """Write one figure's data to ``path``; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(series_to_csv(labels, series, index_name=index_name))
+    path.write_text(series_to_csv(labels, series, index_name=index_name,
+                                  errors=errors))
     return path
 
 

@@ -35,7 +35,8 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
-from repro.analysis.report import characterization_report, comparison_report
+from repro.analysis.report import characterization_report, \
+    comparison_report, sampling_note
 from repro.analysis.tables import format_table
 from repro.config.presets import paper_8core, paper_16core, small_8core, \
     small_16core
@@ -45,6 +46,7 @@ from repro.experiment import AXIS_MODIFIERS, Axis, ExperimentSpec, \
     ResultSet, RunSpec, Session, make_axis
 from repro.experiment.resultset import RELATIVE_METRICS, valid_metric
 from repro.experiment.spec import BASELINE, INHERIT, policy_arg
+from repro.sampling import SamplingConfig
 from repro.workloads.suites import ALL_WORKLOADS
 
 _PRESETS = {
@@ -81,7 +83,44 @@ def _build_config(args) -> SystemConfig:
         cfg = replace(cfg, warmup_instructions=args.warmup)
     if getattr(args, "warmup_mode", None):
         cfg = cfg.with_warmup_mode(args.warmup_mode)
-    return cfg
+    return _apply_sampling(args, cfg)
+
+
+def _apply_sampling(args, cfg: SystemConfig) -> SystemConfig:
+    """Attach a sampling plan built from the ``--sample*`` flags, if any.
+
+    ``--sample``/``--sample-error`` switch the run to interval sampling;
+    that requires functional warmup, so the mode is upgraded
+    automatically unless the user pinned ``--warmup-mode detailed`` - an
+    invalid combination that surfaces as a :class:`ConfigError`.
+    """
+    enabled = getattr(args, "sample", None) is not None \
+        or getattr(args, "sample_error", None) is not None
+    if not enabled:
+        return cfg
+    if cfg.warmup_mode != "functional" \
+            and getattr(args, "warmup_mode", None) is None:
+        cfg = cfg.with_warmup_mode("functional")
+    kwargs = {}
+    if args.sample is not None:
+        kwargs["intervals"] = args.sample
+        # max_intervals is an adaptive-mode knob with no CLI flag; keep
+        # it out of the user's way for large fixed-count plans.
+        kwargs["max_intervals"] = max(SamplingConfig().max_intervals,
+                                      args.sample)
+    if getattr(args, "sample_interval", None) is not None:
+        kwargs["interval_instructions"] = args.sample_interval
+    if getattr(args, "sample_period", None) is not None:
+        kwargs["period_instructions"] = args.sample_period
+    if getattr(args, "sample_warm", None) is not None:
+        kwargs["warm_instructions"] = args.sample_warm
+    if getattr(args, "sample_scheme", None) is not None:
+        kwargs["scheme"] = args.sample_scheme
+    if getattr(args, "sample_seed", None) is not None:
+        kwargs["scheme_seed"] = args.sample_seed
+    if getattr(args, "sample_error", None) is not None:
+        kwargs["target_relative_error"] = args.sample_error / 100.0
+    return cfg.with_sampling(SamplingConfig(**kwargs))
 
 
 def _session(args) -> Session:
@@ -125,6 +164,35 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "machines only - several times faster, and "
                              "policy grids share one warmup via warm-state "
                              "checkpoints)")
+    parser.add_argument("--sample", type=int, metavar="N",
+                        help="sample the measurement epoch with N detailed "
+                             "intervals instead of simulating it "
+                             "monolithically (implies functional warmup; "
+                             "see docs/sampling.md)")
+    parser.add_argument("--sample-interval", dest="sample_interval",
+                        type=int, metavar="N",
+                        help="instructions measured per interval, per core "
+                             "(default 1000)")
+    parser.add_argument("--sample-period", dest="sample_period",
+                        type=int, metavar="N",
+                        help="instructions between interval starts "
+                             "(default: epoch/intervals)")
+    parser.add_argument("--sample-warm", dest="sample_warm",
+                        type=int, metavar="N",
+                        help="functional-warming instructions before each "
+                             "interval (default 2000)")
+    parser.add_argument("--sample-scheme", dest="sample_scheme",
+                        choices=["periodic", "random"],
+                        help="interval placement within each period "
+                             "(default periodic)")
+    parser.add_argument("--sample-seed", dest="sample_seed", type=int,
+                        metavar="N",
+                        help="placement seed for --sample-scheme random")
+    parser.add_argument("--sample-error", dest="sample_error", type=float,
+                        metavar="PCT",
+                        help="adaptive sampling: keep adding intervals "
+                             "until the mean-IPC CI half-width is within "
+                             "PCT%% of the mean")
     parser.add_argument("--parallel", type=int, default=1, metavar="N",
                         help="simulate fresh runs across N processes")
     parser.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
@@ -149,6 +217,9 @@ def _cmd_run(args) -> int:
     print(characterization_report([(args.workload, result)],
                                   title=f"run: {args.workload} "
                                         f"({args.policy})"))
+    note = sampling_note(result)
+    if note:
+        print(note)
     return 0
 
 

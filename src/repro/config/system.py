@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.sampling.config import SamplingConfig
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,14 @@ class SystemConfig:
     #: several times faster and enables warm-state checkpoint sharing
     #: across an experiment grid (see ``docs/performance.md``).
     warmup_mode: str = "detailed"
+    #: Interval-sampling plan (``docs/sampling.md``).  ``None`` (default)
+    #: measures the whole epoch in full detail; a
+    #: :class:`~repro.sampling.config.SamplingConfig` switches the run to
+    #: alternating fast-forward and detailed measurement intervals and
+    #: requires ``warmup_mode="functional"`` (the fast-forward path is
+    #: the functional engine; detailed warmup would leave in-flight
+    #: timing state the sampler cannot reason about).
+    sampling: Optional[SamplingConfig] = None
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -100,6 +109,12 @@ class SystemConfig:
         if self.warmup_mode not in ("detailed", "functional"):
             raise ConfigError(
                 "warmup_mode must be 'detailed' or 'functional'")
+        if self.sampling is not None and self.warmup_mode != "functional":
+            raise ConfigError(
+                "sampled runs require warmup_mode='functional' (the "
+                "fast-forward between measurement intervals is the "
+                "functional engine); pass --warmup-mode functional or "
+                "drop the sampling config")
 
     def with_writeback(self, policy: Optional[str]) -> "SystemConfig":
         """Copy of this config using the named LLC writeback policy."""
@@ -112,6 +127,16 @@ class SystemConfig:
     def with_warmup_mode(self, mode: str) -> "SystemConfig":
         """Copy of this config using the named warmup mode."""
         return replace(self, warmup_mode=mode)
+
+    def with_sampling(
+            self, sampling: Optional[SamplingConfig]) -> "SystemConfig":
+        """Copy of this config using the given sampling plan (or none).
+
+        Sampled runs require ``warmup_mode="functional"``; set it first
+        (:meth:`with_warmup_mode`) or construction raises
+        :class:`~repro.errors.ConfigError`.
+        """
+        return replace(self, sampling=sampling)
 
     def with_wq(self, capacity: int, high: Optional[int] = None,
                 low: Optional[int] = None) -> "SystemConfig":

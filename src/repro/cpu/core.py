@@ -22,6 +22,10 @@ from repro.cpu.rob import ReorderBuffer, RobEntry
 from repro.cpu.trace import LOAD, NONMEM, TraceRecord
 from repro.dram.commands import LINE_BITS
 
+#: Budget sentinel for quota-driven windows: never reached, so the core
+#: runs until explicitly re-targeted (see :meth:`Core.begin_quota`).
+_UNBOUNDED = 1 << 62
+
 
 @dataclass
 class CoreStats:
@@ -79,6 +83,10 @@ class Core:
         self._sleeping = False
         self._tick_scheduled = False
         self._last_fetch_line = -1
+        #: Soft retirement quota (sampled intervals): the core keeps
+        #: executing when it is reached - only the callback fires.
+        self._quota: Optional[int] = None
+        self._on_quota: Optional[Callable[["Core"], None]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -93,6 +101,46 @@ class Core:
         self.stats = CoreStats(start_tick=self.engine.now)
         self.budget = budget
         self.finished = False
+
+    def begin_quota(self, quota: int,
+                    on_quota: Callable[["Core"], None]) -> None:
+        """Begin a soft measurement window without stopping the core.
+
+        Counters reset and ``on_quota`` fires once ``quota`` more
+        instructions have retired (``stats.finish_tick`` records the
+        crossing) - but unlike the budget mechanism the core *keeps
+        executing*, so memory contention from this core persists while
+        slower cores complete their own windows.  That is what makes
+        short sampled intervals faithful: stopping each core at its
+        quota would hand the remaining cores an artificially idle
+        memory system.  Retirement is clamped at the quota tick, so the
+        snapshot taken by the callback holds exactly ``quota`` retired
+        instructions.
+
+        The core is (re)scheduled if it is not already live - sampled
+        intervals chain without interruption, but the first interval
+        after a functional warmup starts from an idle core.
+        """
+        self.stats = CoreStats(start_tick=self.engine.now)
+        self.budget = _UNBOUNDED
+        self.finished = False
+        self._quota = quota
+        self._on_quota = on_quota
+        self._sleeping = False
+        if not self._tick_scheduled:
+            self._schedule_tick(self.engine.now)
+
+    def pause(self) -> None:
+        """Idle the core at a fast-forward boundary.
+
+        Pending completion callbacks still land (they only mark ROB
+        entries done), but the core schedules no further work until
+        :meth:`begin_quota` or :meth:`reset_measurement`/:meth:`start`
+        resume it.  Used by the sampled run loop so the event queue can
+        drain before functional warming mutates cache state.
+        """
+        self.finished = True
+        self._sleeping = False
 
     # ------------------------------------------------------------------
     # Functional warmup
@@ -167,11 +215,19 @@ class Core:
         budget = self.budget
         cpu_cycle = TICKS_PER_CPU_CYCLE
 
-        remaining = budget - stats.retired
+        quota = self._quota
+        cap = budget if quota is None or budget < quota else quota
+        remaining = cap - stats.retired
         if remaining < self.retire_width:
             stats.retired += rob.retire_ready(now, remaining)
         else:
             stats.retired += rob.retire_ready(now, self.retire_width)
+        if quota is not None and stats.retired >= quota:
+            # Soft window boundary: record it and keep executing.
+            stats.finish_tick = now
+            self._quota = None
+            on_quota, self._on_quota = self._on_quota, None
+            on_quota(self)
         if stats.retired >= budget:
             self._finish(now)
             return

@@ -20,7 +20,7 @@ a persistent content-hashed result cache), and queried as a
 from repro.experiment.cache import CACHE_DIR_ENV, ResultCache, \
     default_cache_dir
 from repro.experiment.resultset import DEFAULT_METRICS, Observation, \
-    ResultSet
+    ResultSet, metric_names, valid_metric
 from repro.experiment.serialize import result_from_dict, result_to_dict
 from repro.experiment.session import Session, SessionStats, simulate
 from repro.experiment.spec import AXIS_MODIFIERS, BASELINE, INHERIT, Axis, \
@@ -44,8 +44,10 @@ __all__ = [
     "SessionStats",
     "default_cache_dir",
     "make_axis",
+    "metric_names",
     "result_from_dict",
     "result_to_dict",
     "simulate",
+    "valid_metric",
     "warm_group_key",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, fields, replace
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, \
     Optional, Sequence, Tuple, Union
@@ -34,18 +35,34 @@ Criterion = Union[object, Callable[[object], bool]]
 RELATIVE_METRICS = ("weighted_speedup", "speedup_pct")
 
 
-def valid_metric(name: str) -> bool:
-    """Whether ``name`` resolves to a scalar RunResult metric.
+@lru_cache(maxsize=1)
+def metric_names() -> Tuple[str, ...]:
+    """Every valid scalar metric name, sorted.
 
-    Only numeric fields qualify - structured fields (``llc``, ``dram``,
-    ``ipc``, ...) are not exportable metrics.
+    The single source of truth for metric validation: numeric
+    :class:`~repro.sim.results.RunResult` fields, its derived properties,
+    and the baseline-relative metrics.  Structured fields (``llc``,
+    ``dram``, ``ipc``, ``sampling``, ...) are not exportable metrics.
     """
-    if name in RELATIVE_METRICS:
-        return True
+    names = set(RELATIVE_METRICS)
     for f in fields(RunResult):
-        if f.name == name:
-            return f.type in ("int", "float")
-    return isinstance(getattr(RunResult, name, None), property)
+        if f.type in ("int", "float"):
+            names.add(f.name)
+    for name in dir(RunResult):
+        if isinstance(getattr(RunResult, name, None), property):
+            names.add(name)
+    return tuple(sorted(names))
+
+
+def valid_metric(name: str) -> bool:
+    """Whether ``name`` resolves to a scalar RunResult metric."""
+    return name in metric_names()
+
+
+def _unknown_metric(name: str) -> ValueError:
+    return ValueError(
+        f"unknown metric {name!r}; valid metrics are: "
+        f"{', '.join(metric_names())}")
 
 
 @dataclass(frozen=True)
@@ -62,7 +79,13 @@ class Observation:
     baseline: Optional[RunResult] = field(default=None, compare=False)
 
     def value(self, metric: str) -> float:
-        """Look up ``metric`` on the result (or relative to the baseline)."""
+        """Look up ``metric`` on the result (or relative to the baseline).
+
+        Unknown metric names raise a :class:`ValueError` listing the
+        valid ones (see :func:`metric_names`).
+        """
+        if not valid_metric(metric):
+            raise _unknown_metric(metric)
         if metric in RELATIVE_METRICS:
             if self.baseline is None:
                 raise ValueError(
@@ -72,6 +95,35 @@ class Observation:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise ValueError(f"{metric!r} is not a scalar metric")
         return value
+
+    @property
+    def sampled(self) -> bool:
+        """Whether this observation came from a sampled run."""
+        return self.result.sampling is not None
+
+    def ci(self, metric: str) -> Tuple[float, float]:
+        """The metric's ``(lo, hi)`` confidence interval (sampled runs).
+
+        Raises :class:`ValueError` for full (unsampled) observations and
+        for metrics the sampling summary does not cover.
+        """
+        if not valid_metric(metric):
+            raise _unknown_metric(metric)
+        if self.result.sampling is None:
+            raise ValueError(
+                f"no confidence interval for {metric!r}: "
+                f"{self.spec.label or self.spec.workload!r} is a full "
+                f"(unsampled) run")
+        return self.result.sampling.ci(metric)
+
+    def error_bar(self, metric: str) -> float:
+        """CI half-width of ``metric``; 0.0 for full (unsampled) runs."""
+        if not valid_metric(metric):
+            raise _unknown_metric(metric)
+        summary = self.result.sampling
+        if summary is None or metric not in summary.metrics:
+            return 0.0
+        return summary.metrics[metric].half_width
 
 
 class ResultSet:
@@ -194,6 +246,24 @@ class ResultSet:
     def gmean_speedup_pct(self) -> float:
         """Geometric-mean speedup (%) over attached baselines."""
         return 100.0 * (self.gmean("weighted_speedup") - 1.0)
+
+    # -- sampling ------------------------------------------------------
+
+    def ci(self, metric: str) -> Tuple[float, float]:
+        """``(lo, hi)`` confidence interval of the single observation.
+
+        Filter down to one observation first (like :meth:`only`); the
+        observation must come from a sampled run.
+        """
+        return self.only().ci(metric)
+
+    def error_bars(self, metric: str) -> List[float]:
+        """Per-observation CI half-widths (0.0 for unsampled runs).
+
+        Aligned with :meth:`metric` - ready to feed the ``errors``
+        argument of :func:`repro.analysis.figures.series_to_csv`.
+        """
+        return [obs.error_bar(metric) for obs in self.observations]
 
     # -- export --------------------------------------------------------
 

@@ -17,10 +17,11 @@ from repro.cache.writeback.base import WritebackPolicyStats
 from repro.core.bard import BardAccuracy
 from repro.dram.channel import ChannelStats
 from repro.dram.stats import DrainEpisode, SubChannelStats
+from repro.sampling.stats import MetricEstimate, SamplingSummary
 from repro.sim.results import RunResult
 
 #: Bump when the RunResult schema changes incompatibly.
-RESULT_FORMAT = 1
+RESULT_FORMAT = 2
 
 
 def result_to_dict(result: RunResult) -> Dict[str, Any]:
@@ -42,6 +43,13 @@ def result_from_dict(payload: Dict[str, Any]) -> Optional[RunResult]:
         data["wb_stats"] = WritebackPolicyStats(**data["wb_stats"])
     if data.get("bard_accuracy") is not None:
         data["bard_accuracy"] = BardAccuracy(**data["bard_accuracy"])
+    if data.get("sampling") is not None:
+        summary = dict(data["sampling"])
+        summary["metrics"] = {
+            name: MetricEstimate(**est)
+            for name, est in summary["metrics"].items()
+        }
+        data["sampling"] = SamplingSummary(**summary)
     return RunResult(**data)
 
 

@@ -28,7 +28,9 @@ from repro.config.system import SystemConfig
 from repro.errors import ConfigError
 
 #: Bump when simulator semantics change enough to invalidate cached runs.
-RUN_KEY_VERSION = 1
+#: v2: SystemConfig gained the ``sampling`` axis (sampled and full runs
+#: of the same machine/trace hash differently by construction).
+RUN_KEY_VERSION = 2
 
 #: Canonical label for the no-policy (LRU writeback) baseline.
 BASELINE = "baseline"
@@ -144,7 +146,24 @@ AXIS_MODIFIERS: Dict[str, Callable[[SystemConfig, str], SystemConfig]] = {
         cfg, dram=dataclasses.replace(cfg.dram, refresh=_truthy(v))),
     "pbpl": lambda cfg, v: dataclasses.replace(
         cfg, dram=dataclasses.replace(cfg.dram, pbpl=_truthy(v))),
+    # Sampled-vs-full comparisons: 'off' measures the whole epoch, an
+    # integer N samples N intervals (inheriting the config's sampling
+    # plan for the other knobs, or defaults).  Enabling sampling forces
+    # functional warmup - required by the sampler - so pass
+    # ``--warmup-mode functional`` to keep the 'off' points comparable.
+    "sample": lambda cfg, v: _apply_sample_axis(cfg, v),
 }
+
+
+def _apply_sample_axis(cfg: SystemConfig, value: str) -> SystemConfig:
+    from repro.sampling.config import SamplingConfig
+
+    if str(value).lower() in ("off", "none", "0", "full"):
+        return cfg.with_sampling(None)
+    base = cfg.sampling if cfg.sampling is not None else SamplingConfig()
+    if cfg.warmup_mode != "functional":
+        cfg = cfg.with_warmup_mode("functional")
+    return cfg.with_sampling(base.with_intervals(int(value)))
 
 
 def _truthy(value: str) -> bool:

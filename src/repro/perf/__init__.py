@@ -20,13 +20,17 @@ from repro.perf.scenarios import (
     BENCH_SCHEMA,
     GOLDEN_SIM_INSTRUCTIONS,
     GOLDEN_WARMUP_INSTRUCTIONS,
+    SAMPLING_SCENARIO,
     SCENARIOS,
     WARMUP_SCENARIO,
     PerfScenario,
+    SamplingScenario,
     WarmupScenario,
     bench_report,
+    measure_sampling_scenario,
     measure_scenario,
     measure_warmup_scenario,
+    sampling_scenario_configs,
     scenario_config,
     warmup_scenario_config,
 )
@@ -35,13 +39,17 @@ __all__ = [
     "BENCH_SCHEMA",
     "GOLDEN_SIM_INSTRUCTIONS",
     "GOLDEN_WARMUP_INSTRUCTIONS",
+    "SAMPLING_SCENARIO",
     "SCENARIOS",
     "WARMUP_SCENARIO",
     "PerfScenario",
+    "SamplingScenario",
     "WarmupScenario",
     "bench_report",
+    "measure_sampling_scenario",
     "measure_scenario",
     "measure_warmup_scenario",
+    "sampling_scenario_configs",
     "scenario_config",
     "warmup_scenario_config",
 ]

@@ -27,6 +27,19 @@ A fourth, differently shaped scenario tracks the warmup layer:
     warm-state checkpoints.  Events/sec is meaningless here (functional
     warmup fires no events by design), so the scenario reports wall
     seconds per strategy and their ratio, ``speedup_vs_detailed``.
+
+A fifth tracks the sampled-simulation subsystem (``docs/sampling.md``):
+
+``paper_sampling``
+    A long-trace two-policy grid timed end-to-end twice - the status-quo
+    pipeline (detailed warmup, full detailed measurement) vs the sampled
+    pipeline (shared functional warmup, interval sampling fast-forwarded
+    by the functional engine).  Reports ``speedup_vs_full`` plus the
+    sampled estimates' relative error on mean IPC and write BLP against
+    the full runs, both grid-averaged (the paper's headline numbers are
+    workload averages) and per-point worst case.  The simulation is
+    deterministic, so the error figures are host-independent constants -
+    exactly what a fidelity gate wants.
 """
 
 from __future__ import annotations
@@ -35,9 +48,10 @@ import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.analysis.metrics import gmean
+from repro.analysis.metrics import amean, gmean
 from repro.config.presets import small_8core, small_16core
 from repro.config.system import SystemConfig
+from repro.sampling import SamplingConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiment.session import Session
@@ -128,6 +142,55 @@ def warmup_scenario_config(quick: bool = False) -> SystemConfig:
     warmup, sim = _WARM_QUICK_BUDGET if quick else _WARM_FULL_BUDGET
     return replace(small_8core(), warmup_instructions=warmup,
                    sim_instructions=sim)
+
+
+@dataclass(frozen=True)
+class SamplingScenario:
+    """The sampling scenario: a long-trace grid, sampled vs full."""
+
+    name: str
+    workloads: Tuple[str, ...]
+    preset: str
+    policies: Tuple[str, ...]
+    description: str
+
+
+SAMPLING_SCENARIO = SamplingScenario(
+    name="paper_sampling",
+    workloads=("bc", "whiskey"),
+    preset="small_8core",
+    policies=("baseline", "bard-h"),
+    description="long-trace two-policy grid: interval sampling "
+                "fast-forwarded by the functional engine vs full "
+                "detailed measurement with detailed warmup",
+)
+
+#: (warmup, sim) budgets and sampling plan per mode.  The workloads are
+#: the two paper kernels whose sampled estimates are most faithful
+#: (write-streaming kernels like copy/lbm need denser warming; see
+#: docs/sampling.md for the error-vs-speedup table).
+_SAMPLING_FULL = (60_000, 150_000, SamplingConfig(
+    intervals=12, interval_instructions=1_000,
+    warm_instructions=1_000, detailed_warm_instructions=1_000))
+_SAMPLING_QUICK = (15_000, 30_000, SamplingConfig(
+    intervals=6, interval_instructions=600,
+    warm_instructions=1_000, detailed_warm_instructions=1_200))
+
+
+def sampling_scenario_configs(
+        quick: bool = False) -> Tuple[SystemConfig, SystemConfig]:
+    """``(full, sampled)`` configs for the sampling scenario.
+
+    The full leg is the out-of-the-box pipeline (detailed warmup, whole
+    epoch measured in detail); the sampled leg is the sampled-simulation
+    subsystem end to end (functional warmup shared via checkpoints,
+    interval sampling fast-forwarded by the functional engine).
+    """
+    warmup, sim, sampling = _SAMPLING_QUICK if quick else _SAMPLING_FULL
+    base = replace(small_8core(), warmup_instructions=warmup,
+                   sim_instructions=sim)
+    sampled = base.with_warmup_mode("functional").with_sampling(sampling)
+    return base, sampled
 
 
 def scenario_config(scenario: PerfScenario, quick: bool = False,
@@ -237,10 +300,92 @@ def measure_warmup_scenario(quick: bool = False, repeats: int = 2,
     }
 
 
+def measure_sampling_scenario(quick: bool = False, repeats: int = 1,
+                              seed: int = 7) -> Dict[str, object]:
+    """Time the long-trace grid fully and sampled; report speedup + error.
+
+    Each leg runs through a fresh cache-disabled
+    :class:`~repro.experiment.Session` (checkpoint sharing on - it is
+    part of the subsystem under test); the best wall time per leg is
+    kept.  Relative errors of the sampled estimates against the full
+    runs are computed for mean IPC and write BLP, grid-averaged
+    (``*_grid_error_pct``, the paper's headline-number view) and
+    worst-point (``*_max_error_pct``).  Both are deterministic in
+    (config, workload, seed): they do not vary with the host or the
+    repeat count.
+    """
+    from repro.experiment import ExperimentSpec, Session
+
+    scenario = SAMPLING_SCENARIO
+    full_cfg, sampled_cfg = sampling_scenario_configs(quick)
+
+    def grid(config: SystemConfig) -> "ExperimentSpec":
+        return ExperimentSpec(
+            workloads=scenario.workloads,
+            configs=config,
+            policies=list(scenario.policies),
+            seeds=seed,
+            name=f"{scenario.name}:"
+                 f"{'sampled' if config.sampling else 'full'}",
+        )
+
+    best: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+    for leg, config in (("full", full_cfg), ("sampled", sampled_cfg)):
+        for _ in range(max(1, repeats)):
+            session = Session(cache=False)
+            start = time.perf_counter()
+            rs = session.run(grid(config))
+            seconds = time.perf_counter() - start
+            if leg not in best or seconds < best[leg]:
+                best[leg] = seconds
+            results[leg] = rs
+
+    errors: Dict[str, float] = {}
+    for metric in ("mean_ipc", "write_blp"):
+        full_values: List[float] = []
+        sampled_values: List[float] = []
+        point_errors: List[float] = []
+        for obs in results["full"]:
+            full = obs.value(metric)
+            sampled = results["sampled"].filter(
+                workload=obs.coords["workload"],
+                policy=obs.coords["policy"]).only().value(metric)
+            full_values.append(full)
+            sampled_values.append(sampled)
+            point_errors.append(100.0 * abs(sampled - full) / full)
+        key = "ipc" if metric == "mean_ipc" else metric
+        errors[f"{key}_grid_error_pct"] = round(
+            100.0 * abs(amean(sampled_values) - amean(full_values))
+            / amean(full_values), 3)
+        errors[f"{key}_max_error_pct"] = round(max(point_errors), 3)
+
+    sampling = sampled_cfg.sampling
+    return {
+        "name": scenario.name,
+        "workloads": list(scenario.workloads),
+        "preset": scenario.preset,
+        "policies": list(scenario.policies),
+        "description": scenario.description,
+        "warmup_instructions": full_cfg.warmup_instructions,
+        "sim_instructions": full_cfg.sim_instructions,
+        "seed": seed,
+        "intervals": sampling.intervals,
+        "interval_instructions": sampling.interval_instructions,
+        "warm_instructions": sampling.warm_instructions,
+        "detailed_warm_instructions": sampling.detailed_warm_instructions,
+        "full_seconds": round(best["full"], 4),
+        "sampled_seconds": round(best["sampled"], 4),
+        "speedup_vs_full": round(best["full"] / best["sampled"], 3),
+        **errors,
+    }
+
+
 def bench_report(entries: List[Dict[str, object]], mode: str,
                  repeats: int,
                  baseline: Optional[Dict[str, object]] = None,
                  warmup: Optional[Dict[str, object]] = None,
+                 sampling: Optional[Dict[str, object]] = None,
                  ) -> Dict[str, object]:
     """Assemble the BENCH_simcore.json payload.
 
@@ -253,7 +398,9 @@ def bench_report(entries: List[Dict[str, object]], mode: str,
     same machine.  ``warmup`` is the entry from
     :func:`measure_warmup_scenario`; it is reported under
     ``warmup_scenario`` (its metric is wall seconds, not events/sec, so
-    it stays out of the throughput geomean).
+    it stays out of the throughput geomean).  ``sampling`` is the entry
+    from :func:`measure_sampling_scenario`, reported under
+    ``sampling_scenario`` for the same reason.
     """
     base_scenarios: Dict[str, Dict[str, object]] = \
         dict(baseline.get("scenarios", {})) if baseline else {}
@@ -282,4 +429,6 @@ def bench_report(entries: List[Dict[str, object]], mode: str,
         }
     if warmup is not None:
         report["warmup_scenario"] = warmup
+    if sampling is not None:
+        report["sampling_scenario"] = sampling
     return report

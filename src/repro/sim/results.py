@@ -12,6 +12,7 @@ from repro.core.bard import BardAccuracy
 from repro.dram.channel import ChannelStats
 from repro.dram.power import PowerReport, estimate_power
 from repro.dram.stats import SubChannelStats
+from repro.sampling.stats import SamplingSummary
 
 
 @dataclass
@@ -34,6 +35,9 @@ class RunResult:
     #: deterministic in (config, workload, seed) and the denominator-free
     #: numerator of the perf harness's events/sec metric.
     events: int = 0
+    #: How the run was sampled, with per-metric confidence intervals;
+    #: ``None`` for full (unsampled) runs.
+    sampling: Optional[SamplingSummary] = None
 
     # ------------------------------------------------------------------
     # Derived metrics (the paper's reporting vocabulary)

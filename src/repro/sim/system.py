@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import copy
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.cache.cache import Cache, CacheStats
 from repro.cache.replacement import make_replacement
@@ -12,7 +12,7 @@ from repro.cache.writeback.base import WritebackPolicyStats
 from repro.config.system import SystemConfig
 from repro.core.bard import BardPolicy
 from repro.core.blp_tracker import BLPTracker
-from repro.cpu.core import Core
+from repro.cpu.core import Core, CoreStats
 from repro.cpu.tlb import TLBHierarchy
 from repro.cpu.trace import TraceRecord
 from repro.dram.channel import Channel, ChannelStats
@@ -147,6 +147,36 @@ class System:
             return
         self.engine.run()
 
+    def _run_quota(self, quota: int) -> List["CoreStats"]:
+        """Run until every core retires ``quota`` more instructions.
+
+        The soft-quota counterpart of :meth:`_run_phase` for sampled
+        intervals: each core's counters reset and are snapshotted the
+        tick its quota is reached, but the core *keeps executing* until
+        the slowest core gets there - memory contention never
+        artificially drains the way it would if finished cores went
+        idle.  Returns the per-core stat snapshots, each holding exactly
+        ``quota`` retired instructions.
+        """
+        pending = len(self.cores)
+        snapshots: List[Optional[CoreStats]] = [None] * len(self.cores)
+
+        def on_quota(core: Core) -> None:
+            nonlocal pending
+            snapshots[core.core_id] = copy.copy(core.stats)
+            pending -= 1
+            if pending == 0:
+                self.engine.stop()
+
+        for core in self.cores:
+            core.begin_quota(quota, on_quota)
+        self.engine.run()
+        if pending:
+            raise SimulationError(
+                "event queue drained before every core reached its "
+                "sampling quota")
+        return snapshots
+
     def reset_stats(self) -> None:
         """Start a fresh measurement epoch (end of warmup)."""
         for cache in [self.llc, *self.l2s, *self.l1ds, *self.l1is]:
@@ -213,6 +243,16 @@ class System:
     def _warm_caches(self) -> List[Cache]:
         """Caches in canonical snapshot order."""
         return [self.llc, *self.l2s, *self.l1ds, *self.l1is]
+
+    def _bank_command_totals(self) -> Tuple[int, int]:
+        """Lifetime (activates, precharges) summed over every bank."""
+        acts = pres = 0
+        for channel in self.channels:
+            for sc in channel.subchannels:
+                for bank in sc.banks:
+                    acts += bank.stats.activates
+                    pres += bank.stats.precharges
+        return acts, pres
 
     def snapshot_warm_state(self) -> WarmState:
         """Deep-copied post-warmup state, restorable into a fresh system.
@@ -282,8 +322,16 @@ class System:
     # ------------------------------------------------------------------
 
     def run(self, label: Optional[str] = None) -> RunResult:
-        """Warmup, reset statistics, measure, and collect the result."""
+        """Warmup, reset statistics, measure, and collect the result.
+
+        When the config carries a :class:`~repro.sampling.SamplingConfig`
+        the measurement epoch is sampled (alternating fast-forward and
+        detailed intervals, see :meth:`run_sampled`) instead of simulated
+        monolithically.
+        """
         config = self.config
+        if config.sampling is not None:
+            return self.run_sampled(label=label)
         self.warm_up()
         start_tick = self.engine.now
         for core in self.cores:
@@ -291,19 +339,33 @@ class System:
             core.start()
         self._run_phase()
         self.memctrl.finalize()
+        return self._collect(
+            label or (config.llc_writeback or "baseline"),
+            start_tick=start_tick, start_events=0)
 
-        finish = max(c.stats.finish_tick for c in self.cores)
+    def _collect(self, label: str, start_tick: int, start_events: int,
+                 core_stats=None) -> RunResult:
+        """Snapshot the counters of the epoch begun at ``start_tick``.
+
+        ``core_stats`` overrides the per-core counters (quota-driven
+        sampled intervals snapshot them at the quota crossing; the live
+        stats keep accumulating while slower cores finish their
+        windows).
+        """
+        if core_stats is None:
+            core_stats = [c.stats for c in self.cores]
+        finish = max(s.finish_tick for s in core_stats)
         dram_total = SubChannelStats()
         for channel in self.channels:
             dram_total.merge_from(channel.aggregate_stats())
-        instructions = sum(c.stats.retired for c in self.cores)
+        instructions = sum(s.retired for s in core_stats)
         return RunResult(
-            events=self.engine.events_fired,
-            label=label or (config.llc_writeback or "baseline"),
-            cores=config.cores,
+            events=self.engine.events_fired - start_events,
+            label=label,
+            cores=self.config.cores,
             instructions=instructions,
             elapsed_ticks=finish - start_tick,
-            ipc=[c.stats.ipc for c in self.cores],
+            ipc=[s.ipc for s in core_stats],
             llc=copy.copy(self.llc.stats),
             dram=dram_total,
             channels=[copy.copy(c.stats) for c in self.channels],
@@ -315,3 +377,164 @@ class System:
                            else None),
             llc_demand_accesses=self.llc.stats.demand_accesses,
         )
+
+    def run_sampled(self, label: Optional[str] = None) -> RunResult:
+        """Sampled measurement: fast-forward / warm / measure intervals.
+
+        Implements the plan in ``config.sampling`` (see
+        ``docs/sampling.md``).  After the usual functional warmup, each
+        measurement interval is reached by raw trace fast-forwarding
+        (:meth:`~repro.cpu.core.Core.skip_trace`) followed by
+        ``warm_instructions`` of functional warming
+        (:meth:`~repro.cpu.core.Core.warm_up` - the same machinery the
+        warmup phase uses, keeping cache/TLB/replacement/prefetcher
+        state warm), then measured in full detail for
+        ``interval_instructions`` per core.  Statistics reset at each
+        interval start, so every interval yields an independent
+        :class:`RunResult` snapshot; the aggregate result sums the
+        interval counters and carries a
+        :class:`~repro.sampling.stats.SamplingSummary` with per-metric
+        CLT confidence intervals.
+
+        In adaptive mode (``target_relative_error`` set) intervals keep
+        coming - at the same period - until the mean-IPC relative CI
+        half-width reaches the target or ``max_intervals`` is hit.
+        """
+        from repro.sampling import SAMPLE_METRICS, SamplingSummary, \
+            aggregate_results, collect_metric_values, interval_starts, \
+            summarize, validate_plan
+
+        config = self.config
+        sampling = config.sampling
+        if sampling is None:
+            raise SimulationError(
+                "run_sampled requires a sampling config; use run() for "
+                "full measurement")
+        epoch = config.sim_instructions
+        period = validate_plan(sampling, epoch)
+        starts = interval_starts(sampling, epoch)
+
+        self.warm_up()
+        run_label = label or (config.llc_writeback or "baseline")
+        # The interval the plan cannot run past: its cores stop at their
+        # budget exactly like the end of a full run (which keeps a
+        # 1-interval sample covering the epoch bit-identical to the full
+        # run); every earlier interval uses soft quotas so no core ever
+        # stops executing mid-plan.
+        last_index = (sampling.intervals
+                      if sampling.target_relative_error is None
+                      else sampling.max_intervals) - 1
+        intervals: List[RunResult] = []
+        starts_used: List[int] = []
+        ipc_values: List[float] = []
+        retired = [0] * len(self.cores)
+        cycles = [0.0] * len(self.cores)
+        consumed = 0
+        index = 0
+        while True:
+            start = next(starts)
+            gap = start - consumed
+            if gap > 0:
+                # The gap is spent, from the back: a detailed-but-
+                # unmeasured pipeline re-warm, functional cache warming
+                # before that, raw trace skipping for the rest.
+                detail = min(gap, sampling.detailed_warm_instructions)
+                warm = min(gap - detail, sampling.warm_instructions)
+                skip = gap - detail - warm
+                if warm:
+                    # Functional warming rewrites tag arrays in place; a
+                    # detailed fill still in flight from the previous
+                    # interval would land on a rewritten set and corrupt
+                    # the tag index.  Idle the cores and complete the
+                    # pipeline first (the queue empties: channels stop
+                    # ticking once reads drain and the write queue is
+                    # below its watermark).
+                    for core in self.cores:
+                        core.pause()
+                    self.engine.run()
+                for core in self.cores:
+                    if skip:
+                        core.skip_trace(skip)
+                    if warm:
+                        core.warm_up(warm)
+                if warm:
+                    self._prime_writeback_policy()
+                if detail:
+                    # Discarded detailed window: refills the ROB, MSHRs,
+                    # and memory queues so the measured interval starts
+                    # from steady pipeline state, as a continuous run
+                    # would have it.
+                    self._run_quota(detail)
+                consumed += gap
+            self.reset_stats()
+            start_tick = self.engine.now
+            start_events = self.engine.events_fired
+            start_acts, start_pres = self._bank_command_totals()
+            if index == last_index:
+                for core in self.cores:
+                    core.reset_measurement(sampling.interval_instructions)
+                    core.start()
+                self._run_phase()
+                core_stats = None
+            else:
+                core_stats = self._run_quota(
+                    sampling.interval_instructions)
+            consumed += sampling.interval_instructions
+            starts_used.append(start)
+            interval_cores = core_stats if core_stats is not None \
+                else [c.stats for c in self.cores]
+            ipc_values.append(
+                sum(s.ipc for s in interval_cores) / len(interval_cores))
+            done = index == last_index \
+                or self._sampling_done(sampling, ipc_values)
+            if done:
+                # Close the in-flight drain episode and roll per-bank
+                # command counters up exactly once, as a full run would.
+                self.memctrl.finalize()
+            interval_result = self._collect(run_label, start_tick,
+                                            start_events, core_stats)
+            # Per-bank ACT/PRE counters accumulate for the system's whole
+            # life and only roll into the sub-channel stats at finalize
+            # (i.e. once, after the last interval) - attribute each
+            # interval its own delta so discarded re-warm windows never
+            # inflate the sample's command counts (and its power model).
+            acts, pres = self._bank_command_totals()
+            interval_result.dram.activates = acts - start_acts
+            interval_result.dram.precharges = pres - start_pres
+            intervals.append(interval_result)
+            for core_id, stats in enumerate(interval_cores):
+                retired[core_id] += stats.retired
+                cycles[core_id] += stats.cycles
+            if done:
+                break
+            index += 1
+
+        values = collect_metric_values(intervals, SAMPLE_METRICS)
+        summary = SamplingSummary(
+            scheme=sampling.scheme,
+            intervals=len(intervals),
+            interval_instructions=sampling.interval_instructions,
+            period_instructions=period,
+            warm_instructions=sampling.warm_instructions,
+            confidence=sampling.confidence,
+            starts=starts_used,
+            metrics=summarize(values, sampling.confidence),
+        )
+        return aggregate_results(intervals, retired, cycles,
+                                 run_label, summary)
+
+    @staticmethod
+    def _sampling_done(sampling, ipc_values: List[float]) -> bool:
+        """Whether the interval just measured completes the plan."""
+        n = len(ipc_values)
+        if n < sampling.intervals:
+            return False
+        target = sampling.target_relative_error
+        if target is None:
+            return True
+        if n >= sampling.max_intervals:
+            return True
+        from repro.sampling import relative_error
+
+        return n >= 2 and \
+            relative_error(ipc_values, sampling.confidence) <= target

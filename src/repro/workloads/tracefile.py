@@ -7,8 +7,10 @@ experiments can be frozen and replayed exactly:
 * a compact text format, one record per line: ``<kind> <addr-hex> <pc-hex>``
   with a one-line header, optionally gzip-compressed (``.gz`` suffix),
 * :func:`save_trace` to capture the first N records of any generator,
+* :func:`iter_records` streaming one validated pass over a file in
+  constant memory,
 * :func:`load_trace` returning a replaying (infinite) iterator, matching
-  the contract the cores expect.
+  the contract the cores expect, built on the streaming reader.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ import gzip
 from pathlib import Path
 from typing import Iterator, List, Union
 
-from repro.cpu.trace import TraceRecord, replay, validate_record
+from repro.cpu.trace import TraceRecord, validate_record
 from repro.errors import TraceError
 
 #: Magic header line identifying the format and version.
@@ -52,10 +54,16 @@ def save_trace(trace: Iterator[TraceRecord], path: Union[str, Path],
     return written
 
 
-def read_records(path: Union[str, Path]) -> List[TraceRecord]:
-    """Read all records from a trace file (validating each)."""
+def iter_records(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream one pass over a trace file, validating each record.
+
+    Records are yielded as they are parsed - nothing is materialised -
+    so a multi-gigabyte ``.gz`` trace costs constant memory.  Raises
+    :class:`~repro.errors.TraceError` for a bad header, a malformed
+    record, or a file with no records (detected at end of stream).
+    """
     path = Path(path)
-    records: List[TraceRecord] = []
+    count = 0
     with _open(path, "r") as fh:
         header = fh.readline().rstrip("\n")
         if header != HEADER:
@@ -75,12 +83,39 @@ def read_records(path: Union[str, Path]) -> List[TraceRecord]:
                 raise TraceError(
                     f"{path}:{lineno}: bad field ({exc})"
                 ) from None
-            records.append(validate_record(rec))
-    if not records:
+            yield validate_record(rec)
+            count += 1
+    if not count:
         raise TraceError(f"{path}: empty trace")
-    return records
+
+
+def read_records(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read all records from a trace file into a list (tests, tooling).
+
+    Prefer :func:`iter_records` (or :func:`load_trace`) for replay -
+    this materialises the whole file.
+    """
+    return list(iter_records(path))
 
 
 def load_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
-    """Load a trace file as an infinite replaying iterator."""
-    return replay(read_records(path))
+    """Load a trace file as an infinite replaying iterator.
+
+    Each replay pass streams the file through :func:`iter_records`, so
+    multi-GB compressed traces never materialise as a Python list.  The
+    header is checked eagerly; record validation happens as the stream
+    is consumed.
+    """
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header = fh.readline().rstrip("\n")
+        if header != HEADER:
+            raise TraceError(
+                f"{path}: not a repro trace file (header {header!r})"
+            )
+
+    def forever() -> Iterator[TraceRecord]:
+        while True:
+            yield from iter_records(path)
+
+    return forever()

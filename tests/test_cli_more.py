@@ -38,6 +38,88 @@ class TestOptionPlumbing:
         assert out.count("weighted speedup") == 2
 
 
+class TestSamplingFlags:
+    @pytest.fixture(autouse=True)
+    def _tiny_preset(self, monkeypatch):
+        from tests.conftest import tiny_config
+
+        import repro.cli as cli
+
+        monkeypatch.setitem(cli._PRESETS, "small-8core", tiny_config)
+
+    def test_run_with_sampling(self, capsys):
+        assert main(["run", "copy", "--sample", "2",
+                     "--sample-interval", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out
+        assert "2 x 400" in out
+
+    def test_compare_with_sampling(self, capsys):
+        assert main(["compare", "copy", "--policies", "bard-h",
+                     "--sample", "2", "--sample-interval", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out
+        assert "±" in out
+
+    def test_sweep_with_sampling(self, capsys):
+        assert main(["sweep", "--workloads", "copy",
+                     "--axis", "policy=baseline,bard-h",
+                     "--sample", "2", "--sample-interval", "300",
+                     "--no-cache", "--json"]) == 0
+
+    def test_random_scheme_flags(self, capsys):
+        assert main(["run", "copy", "--sample", "2",
+                     "--sample-interval", "300",
+                     "--sample-scheme", "random",
+                     "--sample-seed", "3"]) == 0
+
+    def test_sample_with_detailed_warmup_is_config_error(self, capsys):
+        rc = main(["run", "copy", "--sample", "2",
+                   "--warmup-mode", "detailed"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "functional" in err
+
+    def test_nonpositive_interval_is_config_error(self, capsys):
+        rc = main(["run", "copy", "--sample", "2",
+                   "--sample-interval", "0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_zero_intervals_is_config_error(self, capsys):
+        rc = main(["run", "copy", "--sample", "0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_oversized_plan_is_config_error(self, capsys):
+        # tiny preset simulates 4000 instructions; 8 x 2000 cannot fit.
+        rc = main(["run", "copy", "--sample", "8",
+                   "--sample-interval", "2000"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "does not fit" in err
+
+    def test_negative_sample_error_is_config_error(self, capsys):
+        rc = main(["run", "copy", "--sample", "2",
+                   "--sample-error", "-1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_large_fixed_interval_count_allowed(self, capsys):
+        # more intervals than the adaptive default cap (64); the cap is
+        # an adaptive-only knob and must not reject fixed-count plans
+        assert main(["run", "copy", "--sample", "100",
+                     "--sample-interval", "20"]) == 0
+
+    def test_sample_error_alone_enables_sampling(self, capsys):
+        # a huge target stops at the default minimum interval count
+        assert main(["run", "copy", "--sample-error", "1000000",
+                     "--sample-interval", "300"]) == 0
+        assert "sampled" in capsys.readouterr().out
+
+
 class TestParserValidation:
     def test_bad_policy_rejected(self):
         with pytest.raises(SystemExit):

@@ -83,6 +83,26 @@ class TestExport:
         with pytest.raises(ValueError):
             rs.to_records(["power_report"])
 
+    def test_unknown_metric_error_lists_valid_names(self, rs):
+        with pytest.raises(ValueError) as exc:
+            rs[0].value("ipcc")
+        message = str(exc.value)
+        assert "ipcc" in message
+        assert "mean_ipc" in message and "write_blp" in message
+
+    def test_valid_metric_is_single_source_of_truth(self, rs):
+        from repro.experiment.resultset import metric_names, valid_metric
+
+        names = metric_names()
+        assert "mean_ipc" in names and "speedup_pct" in names
+        assert all(valid_metric(n) for n in names)
+        assert not valid_metric("llc")  # structured field
+        assert not valid_metric("sampling")  # structured field
+        for name in names:
+            if name in ("weighted_speedup", "speedup_pct"):
+                continue
+            assert isinstance(rs[0].value(name), (int, float))
+
     def test_to_json_round_trips(self, rs, tmp_path):
         path = tmp_path / "out.json"
         text = rs.to_json(path, metrics=["mean_ipc"])

@@ -7,6 +7,7 @@ from repro.errors import TraceError
 from repro.workloads.synthetic import graph_trace
 from repro.workloads.tracefile import (
     HEADER,
+    iter_records,
     load_trace,
     read_records,
     save_trace,
@@ -38,6 +39,51 @@ class TestRoundTrip:
         path = tmp_path / "t.trace"
         written = save_trace(iter([(NONMEM, 0, 4)] * 3), path, 100)
         assert written == 3
+
+
+class TestStreaming:
+    def test_iter_records_is_lazy(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(graph_trace(3, 0, 1 << 14), path, 50)
+        stream = iter_records(path)
+        assert iter(stream) is stream  # a generator, not a list
+        assert next(stream) == read_records(path)[0]
+
+    def test_iter_records_matches_read_records(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        save_trace(graph_trace(5, 0, 1 << 14), path, 80)
+        assert list(iter_records(path)) == read_records(path)
+
+    def test_iter_records_validates(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{HEADER}\n1 40 8\n1 oops 8\n")
+        stream = iter_records(path)
+        assert next(stream) == (1, 0x40, 8)
+        with pytest.raises(TraceError):
+            next(stream)
+
+    def test_iter_records_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text(f"{HEADER}\n")
+        with pytest.raises(TraceError):
+            list(iter_records(path))
+
+    def test_load_trace_does_not_materialise(self, tmp_path, monkeypatch):
+        """load_trace must stream the file, never build a record list."""
+        import repro.workloads.tracefile as tf
+
+        path = tmp_path / "t.trace"
+        save_trace(graph_trace(3, 0, 1 << 14), path, 20)
+        monkeypatch.setattr(
+            tf, "read_records",
+            lambda p: pytest.fail("load_trace materialised the file"))
+        assert len(take(load_trace(path), 45)) == 45
+
+    def test_load_trace_checks_header_eagerly(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
 
 
 class TestValidation:
