@@ -10,12 +10,19 @@ Commands
                    x seeds x any registered config axis)
 ``sweep-wq``       write-queue size sweep (paper Fig. 17)
 ``list``           available workloads, policies, presets, and axes
+``serve``          run the long-running experiment service (HTTP API)
+``submit``         submit a grid to a running service and fetch results
 
 Every simulating command runs through the declarative experiment layer
 (:mod:`repro.experiment`): duplicate grid points simulate once, finished
 runs are cached on disk (``--cache-dir``/``--no-cache``), fresh runs can
-fan out over processes (``--parallel N``), and ``--json`` emits records
-instead of tables.
+fan out over processes (``--parallel N``, ``0`` = all cores), and
+``--json`` emits ``{"records": [...], "stats": {...}}`` - the records
+plus the session's accounting (cache hits, warmups executed, checkpoint
+restores) - instead of tables.  ``serve``/``submit`` move the same grids
+onto a shared multi-tenant service (see ``docs/service.md``); the local
+commands and the service exchange artifacts through the same
+content-addressed cache.
 
 Examples::
 
@@ -25,36 +32,35 @@ Examples::
     python -m repro sweep --workloads lbm copy --axis wq=32,48,64 \\
         --axis policy=baseline,bard-h --speedup-vs policy
     python -m repro sweep-wq --workloads lbm copy --sizes 32 48 64
+    python -m repro serve --port 8023 --workers 4
+    python -m repro submit --workloads lbm --axis policy=baseline,bard-h \\
+        --server http://127.0.0.1:8023 --tenant alice
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.report import characterization_report, \
     comparison_report, sampling_note
 from repro.analysis.tables import format_table
-from repro.config.presets import paper_8core, paper_16core, small_8core, \
-    small_16core
+from repro.config.presets import PRESETS as _PRESETS
 from repro.config.system import SystemConfig
 from repro.errors import ConfigError
 from repro.experiment import AXIS_MODIFIERS, Axis, ExperimentSpec, \
-    ResultSet, RunSpec, Session, make_axis
+    ResultSet, RunSpec, Session, SessionInterrupted, make_axis
+from repro.experiment.cache import default_cache_dir
 from repro.experiment.resultset import RELATIVE_METRICS, valid_metric
 from repro.experiment.spec import BASELINE, INHERIT, policy_arg
 from repro.sampling import SamplingConfig
 from repro.workloads.suites import ALL_WORKLOADS
-
-_PRESETS = {
-    "small-8core": small_8core,
-    "small-16core": small_16core,
-    "paper-8core": paper_8core,
-    "paper-16core": paper_16core,
-}
 
 _POLICY_CHOICES = ["baseline", "bard-e", "bard-c", "bard-h", "eager", "vwq"]
 
@@ -123,9 +129,23 @@ def _apply_sampling(args, cfg: SystemConfig) -> SystemConfig:
     return cfg.with_sampling(SamplingConfig(**kwargs))
 
 
+def _resolve_parallel(value: Optional[int]) -> int:
+    """Validate ``--parallel``: N>=1 workers, 0 = all cores, else error."""
+    if value is None:
+        return 1
+    if value < 0:
+        raise ConfigError(
+            f"--parallel must be >= 0 (got {value}; 0 means one worker "
+            f"per CPU core)")
+    if value == 0:
+        return os.cpu_count() or 1
+    return value
+
+
 def _session(args) -> Session:
     return Session(cache_dir=getattr(args, "cache_dir", None),
-                   parallel=getattr(args, "parallel", 1),
+                   parallel=_resolve_parallel(
+                       getattr(args, "parallel", 1)),
                    cache=not getattr(args, "no_cache", False))
 
 
@@ -139,11 +159,22 @@ def _progress_fn(args):
     return None
 
 
-def _emit_json(rs: ResultSet, metrics=()) -> None:
-    print(rs.to_json(metrics=metrics))
+def _emit_json(rs: ResultSet, session: Session, metrics=()) -> None:
+    """Records plus the session's accounting, one JSON object.
+
+    The ``stats`` block mirrors what the experiment service reports for
+    a grid, so scripted consumers see the same accounting whether a run
+    executed locally or through ``repro submit``.
+    """
+    print(json.dumps({
+        "name": rs.name,
+        "records": rs.to_records(metrics),
+        "stats": dataclasses.asdict(session.stats),
+    }, indent=2))
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    """Machine-configuration flags shared by local and service commands."""
     parser.add_argument("--preset", choices=sorted(_PRESETS),
                         default="small-8core",
                         help="system preset (default: small-8core)")
@@ -193,8 +224,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="adaptive sampling: keep adding intervals "
                              "until the mean-IPC CI half-width is within "
                              "PCT%% of the mean")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    _add_config_args(parser)
     parser.add_argument("--parallel", type=int, default=1, metavar="N",
-                        help="simulate fresh runs across N processes")
+                        help="simulate fresh runs across N processes "
+                             "(0 = one per CPU core)")
     parser.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
                         help="result cache directory "
                              "(default: ~/.cache/repro)")
@@ -209,9 +245,10 @@ def _cmd_run(args) -> int:
     cfg = cfg.with_writeback(_policy_arg(args.policy))
     spec = ExperimentSpec(workloads=args.workload, configs=cfg,
                           seeds=args.seed, name=f"run:{args.workload}")
-    rs = _session(args).run(spec, progress=_progress_fn(args))
+    session = _session(args)
+    rs = session.run(spec, progress=_progress_fn(args))
     if args.json:
-        _emit_json(rs)
+        _emit_json(rs, session)
         return 0
     result = rs.only().result
     print(characterization_report([(args.workload, result)],
@@ -233,9 +270,10 @@ def _cmd_compare(args) -> int:
     spec = ExperimentSpec(workloads=args.workload, configs=cfg,
                           policies=policies, seeds=args.seed,
                           name=f"compare:{args.workload}")
-    rs = _session(args).run(spec, progress=_progress_fn(args))
+    session = _session(args)
+    rs = session.run(spec, progress=_progress_fn(args))
     if args.json:
-        _emit_json(rs)
+        _emit_json(rs, session)
         return 0
     base = rs.filter(policy=BASELINE).only().result
     for obs in rs:
@@ -252,9 +290,10 @@ def _cmd_characterize(args) -> int:
     cfg = _build_config(args)
     spec = ExperimentSpec(workloads=args.workloads, configs=cfg,
                           seeds=args.seed, name="characterize")
-    rs = _session(args).run(spec, progress=_progress_fn(args))
+    session = _session(args)
+    rs = session.run(spec, progress=_progress_fn(args))
     if args.json:
-        _emit_json(rs)
+        _emit_json(rs, session)
         return 0
     results = [(str(obs.coords["workload"]), obs.result) for obs in rs]
     print(characterization_report(results))
@@ -268,28 +307,33 @@ def _parse_axis(text: str):
     return name, [v for v in values.split(",") if v]
 
 
-def _cmd_sweep(args) -> int:
+def _grid_spec(args, name: str) -> ExperimentSpec:
+    """Build the sweep/submit grid from ``--workloads/--axis/--seeds``."""
     cfg = _build_config(args)
     policies: object = INHERIT
     axes: List[Axis] = []
     seen_axes = set()
     for text in args.axis or []:
-        name, values = _parse_axis(text)
-        if name in seen_axes:
-            raise ConfigError(f"duplicate --axis {name!r}")
-        seen_axes.add(name)
-        if name == "policy":
+        axis_name, values = _parse_axis(text)
+        if axis_name in seen_axes:
+            raise ConfigError(f"duplicate --axis {axis_name!r}")
+        seen_axes.add(axis_name)
+        if axis_name == "policy":
             policies = [_policy_arg(v) for v in values]
-        elif name in AXIS_MODIFIERS:
-            axes.append(make_axis(name, values))
+        elif axis_name in AXIS_MODIFIERS:
+            axes.append(make_axis(axis_name, values))
         else:
             raise ConfigError(
-                f"unknown axis {name!r}; choose from "
+                f"unknown axis {axis_name!r}; choose from "
                 f"{sorted(AXIS_MODIFIERS)}")
     seeds = args.seeds if args.seeds else [args.seed]
-    spec = ExperimentSpec(workloads=args.workloads, configs=cfg,
+    return ExperimentSpec(workloads=args.workloads, configs=cfg,
                           policies=policies, seeds=seeds,
-                          axes=axes, name="sweep")
+                          axes=axes, name=name)
+
+
+def _cmd_sweep(args) -> int:
+    spec = _grid_spec(args, "sweep")
     plan = spec.expand()
 
     # Validate metrics and the speedup baseline BEFORE burning simulation
@@ -316,13 +360,14 @@ def _cmd_sweep(args) -> int:
                 f"(have {values})")
         speedup = (axis, baseline)
 
-    rs = _session(args).run(plan, progress=_progress_fn(args))
+    session = _session(args)
+    rs = session.run(plan, progress=_progress_fn(args))
     if speedup is not None:
         rs = rs.speedup_vs(*speedup)
         if "speedup_pct" not in metrics:
             metrics.append("speedup_pct")
     if args.json:
-        _emit_json(rs, metrics)
+        _emit_json(rs, session, metrics)
         return 0
     axis_names = list(rs[0].coords) if len(rs) else []
     rows = [
@@ -349,7 +394,7 @@ def _cmd_sweep_wq(args) -> int:
                           name="sweep-wq")
     rs = session.run(spec, progress=_progress_fn(args))
     if args.json:
-        _emit_json(rs)
+        _emit_json(rs, session)
         return 0
     rows = []
     for size in args.sizes:
@@ -363,6 +408,92 @@ def _cmd_sweep_wq(args) -> int:
     print(format_table(["WQ size", "policy", "mean speedup %"], rows,
                        title="write-queue sweep vs 48-entry baseline "
                              "(cf. paper Fig. 17)"))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the long-running experiment service (Ctrl-C to stop)."""
+    from repro.service import ExperimentService, ServiceConfig, \
+        make_server
+
+    state_dir = Path(args.state_dir) if args.state_dir \
+        else default_cache_dir() / "service"
+    config = ServiceConfig(
+        state_dir=state_dir,
+        store_dir=Path(args.cache_dir) if args.cache_dir else None,
+        shards=_resolve_parallel(args.workers),
+        max_group=args.max_group,
+        max_pending_per_tenant=args.max_pending_per_tenant,
+        max_pending_total=args.max_pending_total,
+    )
+    if args.max_group <= 0:
+        raise ConfigError("--max-group must be positive")
+    service = ExperimentService(config)
+    server = make_server(service, host=args.host, port=args.port,
+                         quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro service listening on http://{host}:{port} "
+          f"({config.shards} worker shards, state in {state_dir}, "
+          f"store in {service.store.directory})", flush=True)
+    service.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (queue state is durable; restart "
+              "resumes unfinished grids)", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Submit a grid to a running service; optionally wait for results."""
+    from repro.service import Backpressure, ServiceClient, ServiceError
+
+    spec = _grid_spec(args, "submit")
+    metrics = list(args.metrics)
+    for name in metrics:
+        if not valid_metric(name):
+            raise ConfigError(f"unknown metric {name!r}")
+        if name in RELATIVE_METRICS:
+            raise ConfigError(
+                f"metric {name!r} is baseline-relative; fetch records "
+                f"and compute speedups client-side")
+    client = ServiceClient(args.server, timeout=args.timeout)
+    try:
+        ticket = client.submit(spec, tenant=args.tenant,
+                               priority=args.priority)
+        if args.no_wait:
+            print(json.dumps(ticket, indent=2))
+            return 0
+        client.wait(ticket["grid_id"], timeout=args.timeout,
+                    poll=args.poll)
+        result = client.result(ticket["grid_id"], metrics=metrics)
+    except Backpressure as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 0
+    records = result["records"]
+    axis_names = [k for k in records[0] if k not in metrics
+                  and k != "run_key"] if records else []
+    rows = [tuple(r[name] for name in axis_names)
+            + tuple(f"{r[m]:.3f}" for m in metrics)
+            for r in records]
+    print(format_table(axis_names + metrics, rows,
+                       title=f"grid {result['grid_id']} "
+                             f"({len(records)} points via "
+                             f"{args.server})"))
+    stats = result["stats"]
+    print(f"admission: {stats['new_jobs']} new, "
+          f"{stats['store_hits']} store hits, "
+          f"{stats['inflight_dedup']} shared in-flight "
+          f"of {stats['unique_runs']} unique runs")
     return 0
 
 
@@ -445,6 +576,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_ls.add_argument("--json", action="store_true")
     p_ls.set_defaults(fn=_cmd_list)
 
+    p_srv = sub.add_parser(
+        "serve", help="run the multi-tenant experiment service")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8023,
+                       help="listen port (0 = ephemeral; default 8023)")
+    p_srv.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker shard processes (0 = all cores)")
+    p_srv.add_argument("--max-group", dest="max_group", type=int,
+                       default=8, metavar="N",
+                       help="max jobs leased per warm group")
+    p_srv.add_argument("--state-dir", dest="state_dir", metavar="DIR",
+                       help="durable queue/grid state "
+                            "(default: <cache>/service)")
+    p_srv.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
+                       help="content-addressed result store "
+                            "(default: the shared result cache)")
+    p_srv.add_argument("--max-pending-per-tenant", type=int, default=64,
+                       dest="max_pending_per_tenant", metavar="N",
+                       help="pending-job bound per tenant (429 beyond)")
+    p_srv.add_argument("--max-pending-total", type=int, default=256,
+                       dest="max_pending_total", metavar="N",
+                       help="global pending-job bound (429 beyond)")
+    p_srv.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    p_srv.set_defaults(fn=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a grid to a running service")
+    p_sub.add_argument("--server", default="http://127.0.0.1:8023",
+                       help="service base URL")
+    p_sub.add_argument("--tenant", default="default",
+                       help="tenant id for fair-share accounting")
+    p_sub.add_argument("--priority", type=int, default=0,
+                       help="within-tenant priority (higher first)")
+    p_sub.add_argument("--workloads", nargs="+", choices=ALL_WORKLOADS,
+                       default=["lbm"])
+    p_sub.add_argument("--axis", action="append", metavar="NAME=V1,V2",
+                       help="sweep axis, repeatable (same as sweep)")
+    p_sub.add_argument("--seeds", nargs="+", type=int, default=None,
+                       help="seed list (default: the --seed value)")
+    p_sub.add_argument("--metrics", nargs="+",
+                       default=["mean_ipc", "write_blp",
+                                "time_writing_pct"],
+                       help="metric columns to fetch")
+    p_sub.add_argument("--no-wait", dest="no_wait", action="store_true",
+                       help="print the submission ticket and exit "
+                            "instead of polling for results")
+    p_sub.add_argument("--timeout", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="max time to wait for completion")
+    p_sub.add_argument("--poll", type=float, default=0.5,
+                       metavar="SECONDS", help="status poll interval")
+    p_sub.add_argument("--json", action="store_true",
+                       help="emit the result envelope as JSON")
+    _add_config_args(p_sub)
+    p_sub.set_defaults(fn=_cmd_submit)
+
     return parser
 
 
@@ -452,6 +640,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except SessionInterrupted as exc:
+        # Finished runs are already cached; rerunning resumes in place.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     except (ConfigError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,6 +1,7 @@
 """System configuration and presets."""
 
 from repro.config.presets import (
+    PRESETS,
     default_config,
     paper_8core,
     paper_16core,
@@ -12,6 +13,7 @@ from repro.config.system import CacheConfig, DramConfig, SystemConfig
 __all__ = [
     "CacheConfig",
     "DramConfig",
+    "PRESETS",
     "SystemConfig",
     "default_config",
     "paper_8core",

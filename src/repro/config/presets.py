@@ -79,3 +79,13 @@ def default_config() -> SystemConfig:
     if os.environ.get("REPRO_SCALE", "").lower() == "paper":
         return paper_8core()
     return small_8core()
+
+
+#: Named preset registry - the single source of truth for every surface
+#: that accepts a preset by name (CLI ``--preset``, service submissions).
+PRESETS = {
+    "small-8core": small_8core,
+    "small-16core": small_16core,
+    "paper-8core": paper_8core,
+    "paper-16core": paper_16core,
+}

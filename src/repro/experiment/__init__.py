@@ -19,10 +19,14 @@ a persistent content-hashed result cache), and queried as a
 
 from repro.experiment.cache import CACHE_DIR_ENV, ResultCache, \
     default_cache_dir
+from repro.experiment.execute import KeyedSpec, iter_group, simulate_group
 from repro.experiment.resultset import DEFAULT_METRICS, Observation, \
     ResultSet, metric_names, valid_metric
-from repro.experiment.serialize import result_from_dict, result_to_dict
-from repro.experiment.session import Session, SessionStats, simulate
+from repro.experiment.serialize import config_from_dict, config_to_dict, \
+    experiment_from_dict, experiment_to_dict, result_from_dict, \
+    result_to_dict, spec_from_dict
+from repro.experiment.session import Session, SessionInterrupted, \
+    SessionStats, simulate
 from repro.experiment.spec import AXIS_MODIFIERS, BASELINE, INHERIT, Axis, \
     ExperimentSpec, GridPoint, RunPlan, RunSpec, make_axis, warm_group_key
 
@@ -35,19 +39,28 @@ __all__ = [
     "ExperimentSpec",
     "GridPoint",
     "INHERIT",
+    "KeyedSpec",
     "Observation",
     "ResultCache",
     "ResultSet",
     "RunPlan",
     "RunSpec",
     "Session",
+    "SessionInterrupted",
     "SessionStats",
+    "config_from_dict",
+    "config_to_dict",
     "default_cache_dir",
+    "experiment_from_dict",
+    "experiment_to_dict",
+    "iter_group",
     "make_axis",
     "metric_names",
     "result_from_dict",
     "result_to_dict",
     "simulate",
+    "simulate_group",
+    "spec_from_dict",
     "valid_metric",
     "warm_group_key",
 ]

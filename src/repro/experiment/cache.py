@@ -4,15 +4,31 @@ Results live as one JSON file per unique run, named by the run's content
 hash, under ``~/.cache/repro`` (overridable via ``REPRO_CACHE_DIR`` or a
 caller-supplied directory).  Files are written atomically; unreadable,
 corrupt, or stale-format files simply read as misses.
+
+The cache is safe for concurrent writers.  Many Sessions and service
+worker shards routinely share one cache directory, so each publish
+takes an advisory ``flock`` on a sidecar lock file (where the platform
+provides one) and retries transient ``OSError`` failures with backoff
+before degrading to a non-persistent cache.  The content-addressed
+naming means a lost race is still benign - both writers hold an
+identical payload for the key - but the lock keeps tmp-file churn and
+non-atomic filesystems (NFS, some overlayfs) from dropping entries.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
+
+try:  # POSIX only; Windows degrades to atomic-rename-with-retry.
+    import fcntl
+except ImportError:  # pragma: no cover - platform dependent
+    fcntl = None  # type: ignore[assignment]
 
 from repro.experiment.serialize import result_from_dict, result_to_dict
 from repro.experiment.spec import RunSpec
@@ -20,6 +36,12 @@ from repro.sim.results import RunResult
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Publish attempts before a put degrades to non-persistent.
+PUT_ATTEMPTS = 3
+
+#: Backoff between publish attempts, doubled each retry.
+_RETRY_DELAY = 0.01
 
 
 def default_cache_dir() -> Path:
@@ -54,31 +76,65 @@ class ResultCache:
         except (OSError, ValueError, AttributeError, TypeError, KeyError):
             return None
 
+    @contextlib.contextmanager
+    def _publish_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock over publishes into this directory.
+
+        Serialises the tmp-write/rename pair across processes so
+        concurrent workers cannot interleave on filesystems where
+        ``os.replace`` is not atomic.  Platforms without ``fcntl`` (and
+        lock-file I/O errors) fall back to the bare atomic rename.
+        """
+        if fcntl is None:
+            yield
+            return
+        try:
+            handle = open(self.directory / ".lock", "a")
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
     def put(self, key: str, spec: RunSpec, result: RunResult) -> None:
         """Store a finished run; failures degrade to a non-persistent cache.
 
         A full disk or unwritable directory must never lose the result the
-        caller just spent a simulation computing.
+        caller just spent a simulation computing.  Transient failures
+        (e.g. a concurrent writer recreating the directory, NFS rename
+        races) are retried :data:`PUT_ATTEMPTS` times with backoff under
+        the directory's publish lock before giving up.
         """
         body = json.dumps({
             "key": key,
             "spec": spec.describe(),
             "payload": result_to_dict(result),
         })
-        tmp = None
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            # Atomic publish: concurrent workers may race on the same key.
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-            with os.fdopen(fd, "w") as handle:
-                handle.write(body)
-            os.replace(tmp, self._path(key))
-        except OSError:
-            if tmp is not None:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
+        for attempt in range(PUT_ATTEMPTS):
+            tmp = None
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                with self._publish_lock():
+                    fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                               suffix=".tmp")
+                    with os.fdopen(fd, "w") as handle:
+                        handle.write(body)
+                    os.replace(tmp, self._path(key))
+                return
+            except OSError:
+                if tmp is not None:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                if attempt + 1 < PUT_ATTEMPTS:
+                    time.sleep(_RETRY_DELAY * (2 ** attempt))
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

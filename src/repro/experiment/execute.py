@@ -1,0 +1,92 @@
+"""Plan-execution primitives shared by :class:`Session` and the service.
+
+The in-process :class:`~repro.experiment.session.Session` and the
+long-running :mod:`repro.service` worker shards execute the same unit of
+work: a *warm group* - a list of ``(run key, RunSpec)`` items that share
+one functional-warmup state, so the group warms once and every other
+member restores the snapshot (see
+:func:`~repro.experiment.spec.warm_group_key`).  This module is the
+single home of that logic; both consumers import it so a run behaves
+identically whether it was launched from the CLI, a test, or an HTTP
+submission.
+
+``simulate_group`` is the batch form handed to ``multiprocessing`` pools
+(one round-trip per group); ``iter_group`` is the incremental form the
+serial path uses so an interrupt mid-group still keeps every finished
+member.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+from repro.experiment.spec import RunSpec
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.workloads.suites import trace_factory
+
+#: One (run key, spec) work item.
+KeyedSpec = Tuple[str, RunSpec]
+
+#: One finished member: (key, result, warmups executed, snapshots restored).
+GroupItem = Tuple[str, RunResult, int, int]
+
+SimulateFn = Callable[[RunSpec], RunResult]
+
+
+def simulate(spec: RunSpec) -> RunResult:
+    """Execute one run spec (the single entry point to the simulator)."""
+    factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
+    system = System(spec.config, factory)
+    return system.run(label=spec.label or spec.workload)
+
+
+def iter_group(items: List[KeyedSpec],
+               simulate_fn: SimulateFn = simulate) -> Iterator[GroupItem]:
+    """Execute one warm-sharing group, yielding each member as it finishes.
+
+    The first member executes the (functional) warmup and snapshots the
+    warm state; every other member restores the snapshot instead of
+    re-warming.  Each yielded tuple carries per-member accounting deltas
+    (``warmups``, ``restores``) so callers can attribute warmup time as
+    results stream out - an interrupt after member *k* loses nothing
+    already yielded.
+
+    ``simulate_fn`` is only consulted for singleton groups (the common
+    case for detailed-warmup runs); shared groups drive the
+    snapshot/restore machinery directly.
+    """
+    if len(items) == 1:
+        key, spec = items[0]
+        warmups = 1 if spec.config.warmup_instructions > 0 else 0
+        yield key, simulate_fn(spec), warmups, 0
+        return
+    snapshot = None
+    for key, spec in items:
+        factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
+        system = System(spec.config, factory)
+        if snapshot is None:
+            snapshot = system.snapshot_warm_state()
+            warmups, restores = 1, 0
+        else:
+            system.restore_warm_state(snapshot)
+            warmups, restores = 0, 1
+        yield (key, system.run(label=spec.label or spec.workload),
+               warmups, restores)
+
+
+def simulate_group(
+    items: List[KeyedSpec],
+) -> Tuple[List[Tuple[str, RunResult]], int, int]:
+    """Batch form of :func:`iter_group` for process pools.
+
+    Returns ``(keyed results, warmups executed, checkpoint restores)``
+    so the dispatching side can account where warmup time went.
+    """
+    pairs: List[Tuple[str, RunResult]] = []
+    warmups = restores = 0
+    for key, result, warmed, restored in iter_group(items):
+        pairs.append((key, result))
+        warmups += warmed
+        restores += restored
+    return pairs, warmups, restores

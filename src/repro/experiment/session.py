@@ -26,59 +26,38 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.config.system import SystemConfig
+from repro.errors import ConfigError
 from repro.experiment.cache import ResultCache
+from repro.experiment.execute import KeyedSpec, iter_group, simulate, \
+    simulate_group
 from repro.experiment.resultset import ResultSet, from_points
 from repro.experiment.spec import ExperimentSpec, RunPlan, RunSpec, \
     warm_group_key
 from repro.sim.results import RunResult
-from repro.sim.system import System
-from repro.workloads.suites import trace_factory
 
 ProgressFn = Callable[[int, int, RunSpec], None]
 
-#: One (run key, spec) work item.
-KeyedSpec = Tuple[str, RunSpec]
 
+class SessionInterrupted(RuntimeError):
+    """A grid execution stopped early (Ctrl-C or a worker crash).
 
-def simulate(spec: RunSpec) -> RunResult:
-    """Execute one run spec (the single entry point to the simulator)."""
-    factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
-    system = System(spec.config, factory)
-    return system.run(label=spec.label or spec.workload)
+    Everything finished before the interrupt was already flushed to the
+    on-disk result cache, so re-running the same spec resumes from the
+    cached runs instead of starting over.  Attributes:
 
-
-def _simulate_keyed(item: KeyedSpec) -> Tuple[str, RunResult]:
-    key, spec = item
-    return key, simulate(spec)
-
-
-def _simulate_group(
-    items: List[KeyedSpec],
-) -> Tuple[List[Tuple[str, RunResult]], int, int]:
-    """Simulate one warm-sharing group of runs.
-
-    The first member executes the (functional) warmup and snapshots the
-    warm state; every other member restores the snapshot instead of
-    re-warming.  Returns ``(keyed results, warmups executed, checkpoint
-    restores)`` so the session can account where warmup time went.
+    ``stats``
+        The session's :class:`SessionStats` at the moment of interrupt
+        (``simulated`` counts the runs that completed this call).
+    ``partial``
+        A :class:`~repro.experiment.resultset.ResultSet` of the grid
+        points whose runs did complete (possibly empty).
     """
-    if len(items) == 1:
-        key, spec = items[0]
-        warmups = 1 if spec.config.warmup_instructions > 0 else 0
-        return [(key, simulate(spec))], warmups, 0
-    pairs: List[Tuple[str, RunResult]] = []
-    snapshot = None
-    restores = 0
-    for key, spec in items:
-        factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
-        system = System(spec.config, factory)
-        if snapshot is None:
-            snapshot = system.snapshot_warm_state()
-        else:
-            system.restore_warm_state(snapshot)
-            restores += 1
-        pairs.append((key, system.run(label=spec.label or spec.workload)))
-    return pairs, 1, restores
+
+    def __init__(self, message: str, stats: "SessionStats",
+                 partial: ResultSet) -> None:
+        super().__init__(message)
+        self.stats = stats
+        self.partial = partial
 
 
 @dataclass
@@ -149,16 +128,36 @@ class Session:
                 missing.append((key, spec))
 
         total = len(missing)
-        for done, (key, result) in enumerate(
-                self._execute(missing), start=1):
-            self.stats.simulated += 1
-            self._memo[key] = result
-            if self.cache:
-                self.cache.put(key, plan.runs[key], result)
-            if progress:
-                progress(done, total, plan.runs[key])
-
         name = plan.spec.name if plan.spec else ""
+        completed = 0
+        try:
+            for done, (key, result) in enumerate(
+                    self._execute(missing), start=1):
+                self.stats.simulated += 1
+                completed = done
+                self._memo[key] = result
+                if self.cache:
+                    self.cache.put(key, plan.runs[key], result)
+                if progress:
+                    progress(done, total, plan.runs[key])
+        except ConfigError:
+            # A mis-specified run is a caller error, not an interrupt:
+            # keep the ConfigError contract (CLI exit 2, not 130).
+            raise
+        except (KeyboardInterrupt, Exception) as exc:
+            # Interrupt safety: everything already simulated was cached
+            # as it arrived, so hand back the finished points and make
+            # the invocation resumable instead of losing it wholesale.
+            finished = [p for p in plan.points
+                        if p.spec.key() in self._memo]
+            partial = from_points(finished, self._memo, name=name)
+            raise SessionInterrupted(
+                f"experiment {name or 'plan'} interrupted after "
+                f"{completed}/{total} fresh runs ({len(finished)}/"
+                f"{len(plan)} grid points available; finished runs are "
+                f"cached - rerun the same spec to resume): {exc!r}",
+                replace(self.stats), partial) from exc
+
         return from_points(plan.points, self._memo, name=name)
 
     def _warm_groups(self,
@@ -201,15 +200,18 @@ class Session:
         groups = self._warm_groups(missing)
         workers = min(self.parallel, len(groups))
         if workers <= 1:
+            # Stream member-by-member (not group-by-group) so an
+            # interrupt mid-group keeps every member already finished.
             for group in groups:
-                pairs, warmups, restores = _simulate_group(group)
-                self.stats.warmups_executed += warmups
-                self.stats.checkpoint_restores += restores
-                yield from pairs
+                for key, result, warmed, restored in \
+                        iter_group(group, simulate):
+                    self.stats.warmups_executed += warmed
+                    self.stats.checkpoint_restores += restored
+                    yield key, result
             return
         with multiprocessing.Pool(processes=workers) as pool:
             for pairs, warmups, restores in pool.imap_unordered(
-                    _simulate_group, groups):
+                    simulate_group, groups):
                 self.stats.warmups_executed += warmups
                 self.stats.checkpoint_restores += restores
                 yield from pairs

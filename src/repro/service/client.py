@@ -1,0 +1,151 @@
+"""Thin HTTP client for the experiment service (stdlib ``urllib``).
+
+The CLI's ``repro submit`` is built on this, and it is the intended
+programmatic surface for any other consumer::
+
+    from repro.experiment import ExperimentSpec
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8023")
+    ticket = client.submit(spec, tenant="alice")
+    status = client.wait(ticket["grid_id"], timeout=300)
+    records = client.result(ticket["grid_id"])["records"]
+
+Errors come back as :class:`ServiceError` carrying the HTTP status and
+decoded body; 429 rejections raise the :class:`Backpressure` subclass so
+callers can implement retry policies without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+from urllib.error import HTTPError, URLError
+from urllib.parse import quote
+from urllib.request import Request, urlopen
+
+from repro.experiment.serialize import experiment_to_dict
+from repro.experiment.spec import ExperimentSpec
+
+#: Default service endpoint (matches ``repro serve``'s default port).
+DEFAULT_URL = "http://127.0.0.1:8023"
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure talking to the service."""
+
+    def __init__(self, status: int, payload: Mapping[str, Any]) -> None:
+        message = payload.get("error") if isinstance(payload, Mapping) \
+            else None
+        super().__init__(
+            f"service returned {status}: {message or payload}")
+        self.status = status
+        self.payload = dict(payload) if isinstance(payload, Mapping) \
+            else {"error": str(payload)}
+
+
+class Backpressure(ServiceError):
+    """The service rejected a submission (429); retry later."""
+
+
+class ResultNotReady(ServiceError):
+    """The grid has not finished yet (409); keep polling."""
+
+
+class ServiceClient:
+    """Minimal JSON-over-HTTP client; one instance per endpoint."""
+
+    def __init__(self, base_url: str = DEFAULT_URL,
+                 timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(body).encode() if body is not None else None
+        request = Request(url, data=data, method=method, headers={
+            "Content-Type": "application/json",
+            "Accept": "application/json",
+        })
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except ValueError:
+                payload = {"error": exc.reason}
+            if exc.code == 429:
+                raise Backpressure(exc.code, payload) from None
+            if exc.code == 409:
+                raise ResultNotReady(exc.code, payload) from None
+            raise ServiceError(exc.code, payload) from None
+        except URLError as exc:
+            raise ServiceError(
+                0, {"error": f"cannot reach {url}: {exc.reason}"}) \
+                from None
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self,
+               experiment: Union[ExperimentSpec, Mapping[str, Any]],
+               tenant: str = "default", priority: int = 0,
+               name: Optional[str] = None) -> Dict[str, Any]:
+        """Submit a grid; returns the service's status/admission dict."""
+        wire = experiment_to_dict(experiment) \
+            if isinstance(experiment, ExperimentSpec) \
+            else dict(experiment)
+        body: Dict[str, Any] = {"tenant": tenant, "priority": priority,
+                                "experiment": wire}
+        if name is not None:
+            body["name"] = name
+        return self._request("POST", "/v1/grids", body)
+
+    def status(self, grid_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/grids/{quote(grid_id)}")
+
+    def result(self, grid_id: str,
+               metrics: Sequence[str] = ()) -> Dict[str, Any]:
+        path = f"/v1/grids/{quote(grid_id)}/result"
+        if metrics:
+            path += "?metrics=" + quote(",".join(metrics))
+        return self._request("GET", path)
+
+    def cancel(self, grid_id: str) -> Dict[str, Any]:
+        return self._request(
+            "POST", f"/v1/grids/{quote(grid_id)}/cancel", {})
+
+    def wait(self, grid_id: str, timeout: float = 600.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until the grid reaches a terminal state.
+
+        Returns the final status; raises :class:`ServiceError` on
+        timeout or when the grid failed/was cancelled.
+        """
+        deadline = time.time() + timeout
+        while True:
+            status = self.status(grid_id)
+            if status["state"] == "done":
+                return status
+            if status["state"] in ("failed", "cancelled"):
+                raise ServiceError(500, dict(
+                    status, error=f"grid {grid_id} {status['state']}"))
+            if time.time() >= deadline:
+                raise ServiceError(0, dict(
+                    status,
+                    error=f"timed out after {timeout:.0f}s waiting "
+                          f"for grid {grid_id} "
+                          f"({status['done']}/{status['unique_runs']} "
+                          f"runs done)"))
+            time.sleep(poll)

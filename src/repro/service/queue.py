@@ -1,0 +1,376 @@
+"""Durable, tenant-aware job queue.
+
+A *job* is one unique simulation - a content-hashed
+:class:`~repro.experiment.spec.RunSpec` - admitted on behalf of one or
+more grids.  The job's identity IS its run key, which gives in-flight
+deduplication by construction: a second tenant submitting an identical
+RunSpec attaches to the existing job instead of enqueueing a duplicate,
+and both grids observe the single execution.
+
+Every state transition is persisted as one JSON file per job
+(atomic write-and-rename), so a killed service resumes in place: on
+reload, jobs found ``running`` are demoted back to ``pending`` - their
+worker died with the process - and everything finished stays finished.
+
+Scheduling is fair across tenants: :meth:`JobQueue.lease` picks the next
+tenant by smooth weighted round-robin, then hands the worker that
+tenant's best job *plus* every queued job sharing its warm group (see
+:func:`~repro.experiment.spec.warm_group_key`), so a shard still warms
+once per group exactly like an in-process Session.  Backpressure is a
+bounded queue: admitting new jobs past the per-tenant or global pending
+limit raises :class:`QueueFull`, which the HTTP layer maps to a 429.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiment.serialize import spec_from_dict
+from repro.experiment.spec import RunSpec, warm_group_key
+
+# Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+
+#: On-disk job record format; unknown versions are skipped on load.
+JOB_FORMAT = 1
+
+
+class QueueFull(Exception):
+    """Admission would exceed a pending-jobs bound (HTTP 429 material)."""
+
+    def __init__(self, tenant: str, pending: int, limit: int,
+                 scope: str) -> None:
+        super().__init__(
+            f"{scope} queue full for tenant {tenant!r}: {pending} jobs "
+            f"pending (limit {limit}); retry after some complete")
+        self.tenant = tenant
+        self.pending = pending
+        self.limit = limit
+        self.scope = scope
+
+
+@dataclass
+class Job:
+    """One unique simulation and its queue bookkeeping."""
+
+    key: str
+    spec: RunSpec
+    tenant: str
+    priority: int = 0
+    state: str = PENDING
+    #: Grid ids that need this job (the dedup fan-in).
+    grids: Tuple[str, ...] = ()
+    #: Admission order; ties in priority break oldest-first.
+    seq: int = 0
+    attempts: int = 0
+    error: str = ""
+    #: Warm-checkpoint-sharing key (None = cannot share).
+    group: Optional[str] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.group is None:
+            self.group = warm_group_key(self.spec)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": JOB_FORMAT,
+            "key": self.key,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "state": self.state,
+            "grids": list(self.grids),
+            "seq": self.seq,
+            "attempts": self.attempts,
+            "error": self.error,
+            "spec": self.spec.describe(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        if data.get("format") != JOB_FORMAT:
+            raise ValueError(f"unknown job format {data.get('format')!r}")
+        return cls(
+            key=str(data["key"]),
+            spec=spec_from_dict(data["spec"]),
+            tenant=str(data["tenant"]),
+            priority=int(data.get("priority", 0)),
+            state=str(data.get("state", PENDING)),
+            grids=tuple(data.get("grids", ())),
+            seq=int(data.get("seq", 0)),
+            attempts=int(data.get("attempts", 0)),
+            error=str(data.get("error", "")),
+        )
+
+
+class JobQueue:
+    """Disk-backed job table with fair leasing and bounded admission."""
+
+    def __init__(self, directory: Path,
+                 max_pending_per_tenant: int = 64,
+                 max_pending_total: int = 256,
+                 tenant_weights: Optional[Mapping[str, float]] = None
+                 ) -> None:
+        self.directory = Path(directory)
+        self.max_pending_per_tenant = max_pending_per_tenant
+        self.max_pending_total = max_pending_total
+        self.tenant_weights = dict(tenant_weights or {})
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._wrr_credit: Dict[str, float] = {}
+        #: Jobs found mid-run at load time and requeued (resume evidence).
+        self.resumed = 0
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _persist(self, job: Job) -> None:
+        from repro.service.util import atomic_write_json
+
+        atomic_write_json(self._path(job.key), job.to_dict())
+
+    def _load(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        from repro.service.util import read_json
+
+        for path in sorted(self.directory.glob("*.json")):
+            data = read_json(path)
+            if data is None:
+                continue
+            try:
+                job = Job.from_dict(data)
+            except Exception:
+                # Corrupt or stale-format job files are skipped, not
+                # fatal - the owning grid re-admits the run on reload.
+                continue
+            if job.state == RUNNING:
+                # The worker that held this lease died with the previous
+                # process; requeue so the run is never lost.
+                job.state = PENDING
+                self.resumed += 1
+                self._persist(job)
+            self._jobs[job.key] = job
+            self._seq = max(self._seq, job.seq + 1)
+
+    # -- admission -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(key)
+
+    def _pending_counts(self) -> Tuple[Dict[str, int], int]:
+        per_tenant: Dict[str, int] = {}
+        total = 0
+        for job in self._jobs.values():
+            if job.state in (PENDING, RUNNING):
+                per_tenant[job.tenant] = per_tenant.get(job.tenant, 0) + 1
+                total += 1
+        return per_tenant, total
+
+    def admit(self, new_specs: List[RunSpec], attach_keys: List[str],
+              tenant: str, priority: int = 0,
+              grid_id: Optional[str] = None) -> Tuple[int, int]:
+        """Atomically admit a grid's share of the queue.
+
+        ``new_specs`` become fresh jobs (subject to the pending bounds -
+        the whole batch is admitted or :class:`QueueFull` is raised and
+        nothing changes); ``attach_keys`` are existing jobs this grid
+        additionally depends on (in-flight dedup - attaching is free and
+        never rejected).  Returns ``(jobs created, jobs attached)``.
+        """
+        with self._lock:
+            per_tenant, total = self._pending_counts()
+            want = len(new_specs)
+            have = per_tenant.get(tenant, 0)
+            if want and have + want > self.max_pending_per_tenant:
+                raise QueueFull(tenant, have, self.max_pending_per_tenant,
+                                "per-tenant")
+            if want and total + want > self.max_pending_total:
+                raise QueueFull(tenant, total, self.max_pending_total,
+                                "global")
+            grids = (grid_id,) if grid_id else ()
+            created = attached = 0
+            for spec in new_specs:
+                key = spec.key()
+                if key in self._jobs and \
+                        self._jobs[key].state in (PENDING, RUNNING, DONE):
+                    # Raced with another submit between the caller's
+                    # lookup and now; treat as an attach.
+                    attach_keys = list(attach_keys) + [key]
+                    continue
+                job = Job(key=key, spec=spec, tenant=tenant,
+                          priority=priority, grids=grids, seq=self._seq)
+                self._seq += 1
+                self._jobs[key] = job
+                self._persist(job)
+                created += 1
+            for key in attach_keys:
+                job = self._jobs.get(key)
+                if job is None:
+                    continue
+                changed = False
+                if grid_id and grid_id not in job.grids:
+                    job.grids = job.grids + (grid_id,)
+                    changed = True
+                if priority > job.priority:
+                    job.priority = priority
+                    changed = True
+                if job.state in (FAILED, CANCELLED):
+                    # A fresh grid wants a job that previously failed or
+                    # was cancelled: give it another chance.
+                    job.state = PENDING
+                    job.error = ""
+                    changed = True
+                if changed:
+                    self._persist(job)
+                attached += 1
+            return created, attached
+
+    # -- leasing -------------------------------------------------------
+
+    def _weight(self, tenant: str) -> float:
+        return max(float(self.tenant_weights.get(tenant, 1.0)), 1e-9)
+
+    def _pick_tenant(self, tenants: List[str]) -> str:
+        """Smooth weighted round-robin over tenants with pending work.
+
+        Deterministic: every candidate earns its weight in credit each
+        round, the richest (ties broken alphabetically) wins and pays
+        back the total - so over N rounds each tenant is picked in
+        proportion to its weight, regardless of queue depth.
+        """
+        total = 0.0
+        best: Optional[str] = None
+        for tenant in sorted(tenants):
+            weight = self._weight(tenant)
+            self._wrr_credit[tenant] = \
+                self._wrr_credit.get(tenant, 0.0) + weight
+            total += weight
+            if best is None or \
+                    self._wrr_credit[tenant] > self._wrr_credit[best]:
+                best = tenant
+        assert best is not None
+        self._wrr_credit[best] -= total
+        return best
+
+    def lease(self, max_jobs: int = 8) -> List[Job]:
+        """Claim the next warm group of jobs for a worker (may be empty).
+
+        The head job is the winning tenant's highest-priority, oldest
+        pending job; if it belongs to a warm-sharing group, up to
+        ``max_jobs - 1`` queued groupmates (any tenant - they share
+        identical warm state by construction) ride along so the shard
+        warms once for all of them.  Leased jobs transition to
+        ``running`` durably before they are returned.
+        """
+        with self._lock:
+            pending = [j for j in self._jobs.values()
+                       if j.state == PENDING]
+            if not pending:
+                return []
+            tenants = list({j.tenant for j in pending})
+            tenant = tenants[0] if len(tenants) == 1 \
+                else self._pick_tenant(tenants)
+            mine = sorted((j for j in pending if j.tenant == tenant),
+                          key=lambda j: (-j.priority, j.seq))
+            head = mine[0]
+            group = [head]
+            if head.group is not None:
+                mates = [j for j in pending
+                         if j is not head and j.group == head.group]
+                mates.sort(key=lambda j: (-j.priority, j.seq))
+                group.extend(mates[:max(0, max_jobs - 1)])
+            for job in group:
+                job.state = RUNNING
+                job.attempts += 1
+                self._persist(job)
+            return group
+
+    # -- completion ----------------------------------------------------
+
+    def _transition(self, key: str, state: str, error: str = "") -> None:
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None:
+                return
+            job.state = state
+            job.error = error
+            self._persist(job)
+
+    def complete(self, key: str) -> None:
+        """Mark a leased job finished (its result is in the store)."""
+        self._transition(key, DONE)
+
+    def fail(self, key: str, error: str) -> None:
+        """Mark a leased job failed, keeping the error for status calls."""
+        self._transition(key, FAILED, error)
+
+    def release(self, keys: List[str]) -> None:
+        """Return leased-but-unfinished jobs to the queue (shutdown path)."""
+        with self._lock:
+            for key in keys:
+                job = self._jobs.get(key)
+                if job is not None and job.state == RUNNING:
+                    job.state = PENDING
+                    self._persist(job)
+
+    def detach_grid(self, grid_id: str) -> int:
+        """Drop a cancelled grid's interest; orphaned pending jobs die.
+
+        Jobs still wanted by another grid keep running - cancellation
+        never yanks work out from under a different tenant.  Returns the
+        number of jobs cancelled outright.
+        """
+        cancelled = 0
+        with self._lock:
+            for job in self._jobs.values():
+                if grid_id not in job.grids:
+                    continue
+                job.grids = tuple(g for g in job.grids if g != grid_id)
+                if not job.grids and job.state == PENDING:
+                    job.state = CANCELLED
+                    cancelled += 1
+                self._persist(job)
+        return cancelled
+
+    # -- introspection -------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Job totals by state (all states present, zeros included)."""
+        with self._lock:
+            out = {state: 0 for state in STATES}
+            for job in self._jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+            return out
+
+    def tenant_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant job totals by state."""
+        with self._lock:
+            out: Dict[str, Dict[str, int]] = {}
+            for job in self._jobs.values():
+                bucket = out.setdefault(
+                    job.tenant, {state: 0 for state in STATES})
+                bucket[job.state] += 1
+            return out
+
+    def outstanding(self) -> int:
+        """Jobs still pending or running (the drain condition)."""
+        with self._lock:
+            return sum(1 for j in self._jobs.values()
+                       if j.state in (PENDING, RUNNING))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

@@ -1,0 +1,422 @@
+"""The experiment service: grids in, deduplicated execution, results out.
+
+:class:`ExperimentService` is the orchestrator the HTTP API (and tests)
+talk to.  It owns the three durable pieces - the
+:class:`~repro.service.queue.JobQueue`, the
+:class:`~repro.service.store.ResultStore`, and a directory of *grid
+records* - plus the :class:`~repro.service.workers.WorkerPool` that
+drains the queue.
+
+A submission expands an :class:`~repro.experiment.spec.ExperimentSpec`
+(or a pre-expanded plan) exactly like an in-process Session would, then
+settles every unique run against the shared fabric:
+
+* already in the store        -> satisfied instantly (``store_hits``),
+* already queued or running   -> attached (``inflight_dedup``),
+* otherwise                   -> a new job (``new_jobs``), subject to
+  per-tenant and global backpressure (:class:`QueueFull` -> HTTP 429).
+
+Grid ids are deterministic in (tenant, grid content), so resubmitting
+an identical grid is idempotent: it reuses the record and reports how
+much of it the store already holds.  Grid records persist point
+coordinates and run specs, which is what makes a killed service
+resumable - on restart, unfinished grids re-admit any run that is
+neither stored nor queued, and everything already finished stays
+finished.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, \
+    Union
+
+from repro.errors import ConfigError
+from repro.experiment.cache import default_cache_dir
+from repro.experiment.resultset import ResultSet, from_points
+from repro.experiment.serialize import experiment_from_dict, \
+    spec_from_dict
+from repro.experiment.spec import ExperimentSpec, GridPoint, RunPlan
+from repro.service.queue import CANCELLED, DONE, FAILED, JobQueue, \
+    PENDING, QueueFull, RUNNING
+from repro.service.store import ResultStore
+from repro.service.util import atomic_write_json, read_json
+from repro.service.workers import WorkerPool
+
+#: On-disk grid record format; unknown versions are skipped on load.
+GRID_FORMAT = 1
+
+# Grid lifecycle states (computed states in status() refine "active").
+ACTIVE = "active"
+GRID_CANCELLED = "cancelled"
+
+
+class UnknownGrid(KeyError):
+    """No grid with that id (HTTP 404 material)."""
+
+
+class ResultPending(Exception):
+    """The grid is not finished yet (HTTP 409 material)."""
+
+    def __init__(self, status: Dict[str, Any]) -> None:
+        super().__init__(
+            f"grid {status['grid_id']} is {status['state']}: "
+            f"{status['done']}/{status['unique_runs']} runs done")
+        self.status = status
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one service instance.
+
+    ``state_dir`` holds the durable queue and grid records;
+    ``store_dir`` defaults to the experiment layer's shared result
+    cache, so the service and plain CLI sessions exchange artifacts.
+    """
+
+    state_dir: Path
+    store_dir: Optional[Path] = None
+    shards: int = 2
+    max_group: int = 8
+    max_pending_per_tenant: int = 64
+    max_pending_total: int = 256
+    tenant_weights: Dict[str, float] = field(default_factory=dict)
+    use_processes: bool = True
+    poll_interval: float = 0.05
+
+
+class ExperimentService:
+    """Multi-tenant grid execution over one shared store and queue."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        state_dir = Path(config.state_dir)
+        self.store = ResultStore(config.store_dir or default_cache_dir())
+        self.queue = JobQueue(
+            state_dir / "queue",
+            max_pending_per_tenant=config.max_pending_per_tenant,
+            max_pending_total=config.max_pending_total,
+            tenant_weights=config.tenant_weights)
+        self.workers = WorkerPool(
+            self.queue, self.store, shards=config.shards,
+            max_group=config.max_group,
+            use_processes=config.use_processes,
+            poll_interval=config.poll_interval)
+        self._grids_dir = state_dir / "grids"
+        self._grids: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.RLock()
+        self._started_at = time.time()
+        self.counters: Dict[str, int] = {
+            "submissions": 0, "resubmissions": 0, "rejected": 0,
+            "grids_resumed": 0, "jobs_readmitted": 0,
+        }
+        self._load_grids()
+        self._reconcile()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Start draining the queue (idempotent)."""
+        self.workers.start()
+
+    def stop(self) -> None:
+        """Stop the workers; durable state stays resumable on disk."""
+        self.workers.stop()
+
+    def __enter__(self) -> "ExperimentService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- durable grid records ------------------------------------------
+
+    def _grid_path(self, grid_id: str) -> Path:
+        return self._grids_dir / f"{grid_id}.json"
+
+    def _persist_grid(self, record: Dict[str, Any]) -> None:
+        atomic_write_json(self._grid_path(record["grid_id"]), record)
+
+    def _load_grids(self) -> None:
+        self._grids_dir.mkdir(parents=True, exist_ok=True)
+        for path in sorted(self._grids_dir.glob("*.json")):
+            record = read_json(path)
+            if not isinstance(record, dict) or \
+                    record.get("format") != GRID_FORMAT:
+                continue
+            self._grids[record["grid_id"]] = record
+
+    def _reconcile(self) -> None:
+        """Re-admit lost runs of unfinished grids (restart recovery).
+
+        The queue already requeued jobs it found ``running``; this pass
+        covers the rarer hole where a job file is missing entirely (a
+        crash between grid persist and job persist, or a wiped queue
+        directory) by rebuilding jobs from the grid record's specs.
+        """
+        for record in self._grids.values():
+            if record["state"] != ACTIVE:
+                continue
+            resumed = False
+            for key, spec_dict in record["specs"].items():
+                if key in self.store or \
+                        self.queue.get(key) is not None:
+                    continue
+                spec = spec_from_dict(spec_dict)
+                self.queue.admit([spec], [], tenant=record["tenant"],
+                                 priority=record["priority"],
+                                 grid_id=record["grid_id"])
+                self.counters["jobs_readmitted"] += 1
+                resumed = True
+            if resumed:
+                self.counters["grids_resumed"] += 1
+
+    # -- submission ----------------------------------------------------
+
+    @staticmethod
+    def _grid_id(tenant: str, plan: RunPlan) -> str:
+        """Deterministic grid identity: tenant + grid content."""
+        if plan.spec is not None:
+            content = plan.spec.hash()
+        else:
+            content = hashlib.sha256(
+                ",".join(sorted(plan.runs)).encode()).hexdigest()
+        digest = hashlib.sha256(
+            f"{tenant}:{content}".encode()).hexdigest()
+        return f"g{digest[:16]}"
+
+    def submit(self, experiment: Union[ExperimentSpec, RunPlan],
+               tenant: str = "default", priority: int = 0,
+               name: Optional[str] = None) -> Dict[str, Any]:
+        """Admit a grid; returns its status (idempotent per content).
+
+        Raises :class:`~repro.service.queue.QueueFull` when admission
+        would blow the tenant's (or the global) pending bound - nothing
+        is partially enqueued in that case.
+        """
+        plan = experiment.expand() \
+            if isinstance(experiment, ExperimentSpec) else experiment
+        if not len(plan):
+            raise ConfigError("cannot submit an empty grid")
+        grid_id = self._grid_id(tenant, plan)
+        with self._lock:
+            existing = self._grids.get(grid_id)
+            if existing is not None and existing["state"] == ACTIVE:
+                self.counters["resubmissions"] += 1
+                return self.status(grid_id)
+
+            store_hits: List[str] = []
+            attach: List[str] = []
+            new_specs = []
+            for key, spec in plan.runs.items():
+                if key in self.store:
+                    store_hits.append(key)
+                elif self.queue.get(key) is not None and \
+                        self.queue.get(key).state in \
+                        (PENDING, RUNNING, DONE):
+                    attach.append(key)
+                else:
+                    new_specs.append(spec)
+            try:
+                created, attached = self.queue.admit(
+                    new_specs, attach, tenant=tenant, priority=priority,
+                    grid_id=grid_id)
+            except QueueFull:
+                self.counters["rejected"] += 1
+                raise
+
+            record = {
+                "format": GRID_FORMAT,
+                "grid_id": grid_id,
+                "tenant": tenant,
+                "name": name or (plan.spec.name if plan.spec
+                                 else "plan"),
+                "priority": priority,
+                "state": ACTIVE,
+                "submitted_at": time.time(),
+                "points": [{"coords": dict(p.coords),
+                            "key": p.spec.key(),
+                            "label": p.spec.label}
+                           for p in plan.points],
+                "specs": {key: spec.describe()
+                          for key, spec in plan.runs.items()},
+                "admission": {
+                    "total_points": len(plan),
+                    "unique_runs": plan.unique_count,
+                    "store_hits": len(store_hits),
+                    "inflight_dedup": attached,
+                    "new_jobs": created,
+                },
+            }
+            self._grids[grid_id] = record
+            self._persist_grid(record)
+            self.counters["submissions"] += 1
+        self.workers.kick()
+        return self.status(grid_id)
+
+    def submit_request(self, payload: Mapping[str, Any]
+                       ) -> Dict[str, Any]:
+        """Wire-format submission (the HTTP POST body).
+
+        ``{"tenant": ..., "priority": ..., "name": ...,
+        "experiment": <experiment_to_dict form>}``
+        """
+        if not isinstance(payload, Mapping):
+            raise ConfigError("submission body must be a JSON object")
+        if "experiment" not in payload:
+            raise ConfigError("submission body needs an 'experiment'")
+        spec = experiment_from_dict(payload["experiment"])
+        tenant = str(payload.get("tenant", "default")) or "default"
+        priority = int(payload.get("priority", 0))
+        name = payload.get("name")
+        return self.submit(spec, tenant=tenant, priority=priority,
+                           name=str(name) if name is not None else None)
+
+    # -- status / results ----------------------------------------------
+
+    def _record(self, grid_id: str) -> Dict[str, Any]:
+        record = self._grids.get(grid_id)
+        if record is None:
+            raise UnknownGrid(grid_id)
+        return record
+
+    def _job_states(self, record: Mapping[str, Any]) -> Dict[str, str]:
+        """Per-unique-run state, store-first (DONE once materialised)."""
+        states: Dict[str, str] = {}
+        for key in record["specs"]:
+            if key in self.store:
+                states[key] = DONE
+                continue
+            job = self.queue.get(key)
+            states[key] = job.state if job is not None else PENDING
+        return states
+
+    def status(self, grid_id: str) -> Dict[str, Any]:
+        """Progress snapshot for one grid (the GET /v1/grids/<id> body)."""
+        with self._lock:
+            record = self._record(grid_id)
+            states = self._job_states(record)
+        tally = {PENDING: 0, RUNNING: 0, DONE: 0, FAILED: 0,
+                 CANCELLED: 0}
+        errors = []
+        for key, state in states.items():
+            tally[state] = tally.get(state, 0) + 1
+            if state == FAILED:
+                job = self.queue.get(key)
+                if job is not None and job.error:
+                    errors.append({"key": key, "error": job.error})
+        if record["state"] == GRID_CANCELLED:
+            state = GRID_CANCELLED
+        elif tally[FAILED]:
+            state = "failed"
+        elif tally[DONE] == len(states):
+            state = "done"
+        elif tally[RUNNING]:
+            state = "running"
+        else:
+            state = "queued"
+        return {
+            "grid_id": grid_id,
+            "name": record["name"],
+            "tenant": record["tenant"],
+            "priority": record["priority"],
+            "state": state,
+            "total_points": record["admission"]["total_points"],
+            "unique_runs": len(states),
+            "done": tally[DONE],
+            "pending": tally[PENDING] + tally[CANCELLED],
+            "running": tally[RUNNING],
+            "failed": tally[FAILED],
+            "errors": errors[:8],
+            "admission": dict(record["admission"]),
+        }
+
+    def result_set(self, grid_id: str) -> ResultSet:
+        """Assemble the grid's :class:`ResultSet` from the store."""
+        status = self.status(grid_id)
+        if status["state"] != "done":
+            raise ResultPending(status)
+        record = self._record(grid_id)
+        points: List[GridPoint] = []
+        results = {}
+        for point in record["points"]:
+            spec = spec_from_dict(
+                dict(record["specs"][point["key"]],
+                     label=point["label"]))
+            points.append(GridPoint(coords=point["coords"], spec=spec))
+            if point["key"] not in results:
+                result = self.store.get(point["key"])
+                if result is None:
+                    raise ResultPending(status)
+                results[point["key"]] = result
+        return from_points(points, results, name=record["name"])
+
+    def result(self, grid_id: str,
+               metrics: Sequence[str] = ()) -> Dict[str, Any]:
+        """Finished grid as records + accounting (the result body).
+
+        The envelope matches the CLI's ``--json`` output - ``records``
+        plus a ``stats`` block - so service consumers and local sessions
+        see the same accounting shape.
+        """
+        rs = self.result_set(grid_id)
+        record = self._record(grid_id)
+        return {
+            "grid_id": grid_id,
+            "name": record["name"],
+            "tenant": record["tenant"],
+            "records": rs.to_records(metrics),
+            "stats": dict(record["admission"]),
+        }
+
+    def cancel(self, grid_id: str) -> Dict[str, Any]:
+        """Cancel a grid; jobs other grids still need keep running."""
+        with self._lock:
+            record = self._record(grid_id)
+            if record["state"] != GRID_CANCELLED:
+                record["state"] = GRID_CANCELLED
+                self._persist_grid(record)
+                self.queue.detach_grid(grid_id)
+        return self.status(grid_id)
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-wide accounting (the GET /v1/stats body)."""
+        with self._lock:
+            grid_states: Dict[str, int] = {}
+            for record in self._grids.values():
+                try:
+                    state = self.status(record["grid_id"])["state"]
+                except UnknownGrid:  # pragma: no cover - racing delete
+                    continue
+                grid_states[state] = grid_states.get(state, 0) + 1
+            counters = dict(self.counters)
+        return {
+            "uptime_seconds": time.time() - self._started_at,
+            "grids": grid_states,
+            "jobs": self.queue.counts(),
+            "tenants": self.queue.tenant_counts(),
+            "store": self.store.stats_dict(),
+            "workers": self.workers.stats_dict(),
+            "counters": counters,
+            "limits": {
+                "max_pending_per_tenant":
+                    self.queue.max_pending_per_tenant,
+                "max_pending_total": self.queue.max_pending_total,
+            },
+        }
+
+    def drain(self, timeout: float = 60.0, poll: float = 0.02) -> bool:
+        """Block until no jobs are pending/running (True) or timeout."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if self.queue.outstanding() == 0:
+                return True
+            time.sleep(poll)
+        return self.queue.outstanding() == 0

@@ -1,0 +1,76 @@
+"""Content-addressed result store with read-through accounting.
+
+A thin, counted layer over the experiment layer's persistent
+:class:`~repro.experiment.cache.ResultCache`: results are addressed by
+the run's content hash, so identical RunSpecs submitted by different
+tenants resolve to the same artifact.  Dedup happens at two levels:
+
+* **at rest** - a submission checks the store first; keys already
+  materialised are satisfied immediately (``hits``) and never enqueue
+  a job;
+* **in flight** - keys currently queued or running are shared through
+  the :class:`~repro.service.queue.JobQueue`, whose job identity is the
+  run key; the store only ever receives one ``put`` per key.
+
+Because the store reuses ``ResultCache`` (same file naming, same
+locking), pointing the service at a directory the CLI already populated
+makes every previously cached run a warm hit - and vice versa: runs the
+service computes are visible to plain ``repro run``/``sweep`` sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.experiment.cache import ResultCache
+from repro.experiment.spec import RunSpec
+from repro.sim.results import RunResult
+
+
+@dataclass
+class StoreStats:
+    """Read-through accounting (monotonic over the service lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+
+class ResultStore:
+    """Counted content-addressed store shared by all tenants."""
+
+    def __init__(self,
+                 directory: Optional[Union[str, Path]] = None) -> None:
+        self.cache = ResultCache(Path(directory) if directory else None)
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+
+    @property
+    def directory(self) -> Path:
+        return self.cache.directory
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Read-through lookup; counts hits and misses."""
+        result = self.cache.get(key)
+        with self._lock:
+            if result is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        return result
+
+    def put(self, key: str, spec: RunSpec, result: RunResult) -> None:
+        """Publish one finished run (atomic, concurrency-safe)."""
+        self.cache.put(key, spec, result)
+        with self._lock:
+            self.stats.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.cache
+
+    def stats_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return asdict(self.stats)

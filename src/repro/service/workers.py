@@ -1,0 +1,198 @@
+"""Worker-shard pool: N processes draining the job queue.
+
+A dispatcher thread owns the durable :class:`~repro.service.queue`
+state and leases one warm group at a time (fair-share order), farming
+execution to a ``multiprocessing`` pool of *shards*.  Pool workers are
+stateless executors of :func:`~repro.experiment.execute.simulate_group`
+- the exact function an in-process Session uses - so a group still
+warms once and forks its warm-state snapshot for every member, and a
+run computes bit-identical results no matter which surface launched it.
+
+Results stream back through the dispatcher: each finished group is
+published to the :class:`~repro.service.store.ResultStore` and its jobs
+marked ``done`` *before* the next lease, so the durable state on disk
+is never more than one in-flight group away from the truth.  A crash
+loses only the groups that were actually executing - the queue demotes
+them back to ``pending`` at next startup.
+
+``use_processes=False`` executes groups inline on the dispatcher
+threads (one thread per shard) - the mode unit tests and tiny
+single-host deployments use; it keeps everything in one process so
+monkeypatched simulators and deterministic scheduling work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.experiment.execute import simulate_group
+from repro.service.queue import Job, JobQueue
+from repro.service.store import ResultStore
+
+#: Module-level indirection so tests can substitute the executor.
+run_group = simulate_group
+
+
+@dataclass
+class WorkerStats:
+    """What the pool has done since start (monotonic)."""
+
+    groups: int = 0
+    jobs: int = 0
+    warmups: int = 0
+    restores: int = 0
+    failures: int = 0
+
+
+class WorkerPool:
+    """Dispatcher + shard pool pulling warm groups from the queue."""
+
+    def __init__(self, queue: JobQueue, store: ResultStore,
+                 shards: int = 2, max_group: int = 8,
+                 use_processes: bool = True,
+                 poll_interval: float = 0.05) -> None:
+        self.queue = queue
+        self.store = store
+        self.shards = max(1, int(shards))
+        self.max_group = max(1, int(max_group))
+        self.use_processes = use_processes
+        self.poll_interval = poll_interval
+        self.stats = WorkerStats()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._inflight = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stop.clear()
+        if self.use_processes:
+            self._pool = multiprocessing.Pool(processes=self.shards)
+            threads = 1  # one dispatcher feeding the process pool
+        else:
+            threads = self.shards  # inline: each thread is a shard
+        for index in range(threads):
+            thread = threading.Thread(target=self._loop,
+                                      name=f"repro-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop leasing, drain in-flight groups, release the pool."""
+        self._stop.set()
+        self._wake.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def kick(self) -> None:
+        """Wake the dispatcher early (a submission just landed)."""
+        self._wake.set()
+
+    # -- dispatch ------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if self._pool is not None and not self._reserve_slot():
+                continue
+            group = self.queue.lease(self.max_group)
+            if not group:
+                if self._pool is not None:
+                    self._release_slot()
+                self._wake.wait(self.poll_interval)
+                self._wake.clear()
+                continue
+            items = [(job.key, job.spec) for job in group]
+            if self._pool is None:
+                try:
+                    outcome = run_group(items)
+                except Exception as exc:  # worker crash: fail the group
+                    self._on_error(group, exc)
+                else:
+                    self._on_result(group, outcome)
+            else:
+                self._pool.apply_async(
+                    run_group, (items,),
+                    callback=lambda out, g=group: self._finish(g, out),
+                    error_callback=lambda exc, g=group:
+                        self._finish_error(g, exc))
+
+    def _reserve_slot(self) -> bool:
+        """Cap in-flight groups at the shard count (process mode)."""
+        with self._lock:
+            if self._inflight < self.shards:
+                self._inflight += 1
+                return True
+        self._wake.wait(self.poll_interval)
+        self._wake.clear()
+        return False
+
+    def _release_slot(self) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+        self._wake.set()
+
+    def _finish(self, group: List[Job], outcome: Any) -> None:
+        try:
+            self._on_result(group, outcome)
+        finally:
+            self._release_slot()
+
+    def _finish_error(self, group: List[Job], exc: BaseException) -> None:
+        try:
+            self._on_error(group, exc)
+        finally:
+            self._release_slot()
+
+    # -- completion ----------------------------------------------------
+
+    def _on_result(self, group: List[Job], outcome: Any) -> None:
+        pairs, warmups, restores = outcome
+        specs = {job.key: job.spec for job in group}
+        finished = set()
+        for key, result in pairs:
+            self.store.put(key, specs[key], result)
+            self.queue.complete(key)
+            finished.add(key)
+        # A group that returned short (shouldn't happen, but never
+        # strand a lease) releases its unfinished members.
+        leftover = [key for key in specs if key not in finished]
+        if leftover:
+            self.queue.release(leftover)
+        with self._lock:
+            self.stats.groups += 1
+            self.stats.jobs += len(finished)
+            self.stats.warmups += warmups
+            self.stats.restores += restores
+        self._wake.set()
+
+    def _on_error(self, group: List[Job], exc: BaseException) -> None:
+        for job in group:
+            self.queue.fail(job.key, f"{type(exc).__name__}: {exc}")
+        with self._lock:
+            self.stats.groups += 1
+            self.stats.failures += len(group)
+        self._wake.set()
+
+    # -- introspection -------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            data = asdict(self.stats)
+        data["shards"] = self.shards
+        data["mode"] = "processes" if self.use_processes else "inline"
+        return data

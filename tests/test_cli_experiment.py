@@ -50,10 +50,14 @@ class TestSweep:
                      "--axis", "wq=32,48",
                      "--metrics", "mean_ipc", "--json",
                      "--no-cache"]) == 0
-        records = json.loads(capsys.readouterr().out)
+        data = json.loads(capsys.readouterr().out)
+        records = data["records"]
         assert len(records) == 2
         assert {r["wq"] for r in records} == {"32", "48"}
         assert all("mean_ipc" in r for r in records)
+        # The session's accounting rides along for scripted consumers.
+        assert data["stats"]["simulated"] == 2
+        assert data["stats"]["unique"] == 2
 
     def test_bad_axis_is_an_error(self, capsys):
         assert main(["sweep", "--workloads", "copy",
@@ -108,7 +112,7 @@ class TestSweep:
                      "--metrics", "speedup_pct",
                      "--speedup-vs", "policy", "--json",
                      "--no-cache"]) == 0
-        records = json.loads(capsys.readouterr().out)
+        records = json.loads(capsys.readouterr().out)["records"]
         assert all(list(r).count("speedup_pct") == 1 for r in records)
 
     def test_seed_option_reaches_sweep(self, capsys, counted):
@@ -142,8 +146,30 @@ class TestCacheAndParallel:
 
     def test_run_json(self, capsys):
         assert main(["run", "copy", "--json", "--no-cache"]) == 0
-        records = json.loads(capsys.readouterr().out)
-        assert records[0]["workload"] == "copy"
+        data = json.loads(capsys.readouterr().out)
+        assert data["records"][0]["workload"] == "copy"
+        assert data["stats"]["planned"] == 1
+
+    def test_json_stats_show_cache_hits(self, capsys, tmp_path):
+        argv = ["run", "copy", "--json", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["stats"]["simulated"] == 1
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["stats"]["disk_hits"] == 1
+        assert second["stats"]["simulated"] == 0
+        assert first["records"] == second["records"]
+
+    def test_parallel_zero_means_all_cores(self, capsys, counted):
+        assert main(["run", "copy", "--parallel", "0",
+                     "--no-cache"]) == 0
+        assert len(counted) == 1
+
+    def test_negative_parallel_rejected(self, capsys):
+        assert main(["run", "copy", "--parallel", "-2",
+                     "--no-cache"]) == 2
+        assert "--parallel" in capsys.readouterr().err
 
     def test_run_policy_reaches_simulation(self, capsys, counted):
         assert main(["run", "copy", "--policy", "bard-h",

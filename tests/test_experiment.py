@@ -224,6 +224,53 @@ class TestCache:
         assert spec.key() in cache
         assert cache.get(spec.key()) == result
 
+    def test_concurrent_writers_all_publish(self, tmp_path):
+        """Many threads hammering one directory: every entry lands
+        intact and no tmp files are left behind (the locking path)."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("lbm", tiny_config())
+        result = session_mod.simulate(spec)
+        keys = [f"{'%04x' % i}{'0' * 20}" for i in range(24)]
+
+        def publish(key):
+            for _ in range(5):
+                cache.put(key, spec, result)
+
+        threads = [threading.Thread(target=publish, args=(k,))
+                   for k in keys]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for key in keys:
+            assert cache.get(key) == result
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_put_retries_transient_failures(self, tmp_path,
+                                            monkeypatch):
+        import os as os_mod
+
+        from repro.experiment import cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("lbm", tiny_config())
+        result = session_mod.simulate(spec)
+        real_replace = os_mod.replace
+        failures = iter([OSError("EIO"), OSError("EIO")])
+
+        def flaky_replace(src, dst):
+            try:
+                raise next(failures)
+            except StopIteration:
+                return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_mod.os, "replace", flaky_replace)
+        monkeypatch.setattr(cache_mod, "_RETRY_DELAY", 0.0)
+        cache.put(spec.key(), spec, result)
+        assert cache.get(spec.key()) == result
+
 
 class TestExecution:
     def test_serial_and_parallel_identical(self):
