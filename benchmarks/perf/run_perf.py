@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Simulator-core performance harness: emits ``BENCH_simcore.json``.
 
-Times the three representative throughput scenarios defined in
+Times the four representative throughput scenarios defined in
 :mod:`repro.perf.scenarios` through the experiment layer's ``Session``
 (cache disabled - every timed run is a real simulation), plus the
 warmup-dominated ``paper_warmup`` grid scenario (detailed warmup vs

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import copy
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Protocol, \
     Tuple
 
 from repro.cache.line import CacheSet
-from repro.cache.mshr import DoneCallback, MSHREntry
+from repro.cache.mshr import DRAINING, DoneCallback, FILLING, \
+    FULL_WORD_MASK, ISSUED, MSHREntry, WORDS_PER_LINE
 from repro.cache.replacement import ReplacementPolicy, pc_signature
 from repro.clock import TICKS_PER_CPU_CYCLE
 from repro.dram.commands import LINE_BITS, LINE_SIZE
@@ -37,6 +38,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Mask clearing the block-offset bits of a physical address.
 _LINE_MASK = ~(LINE_SIZE - 1)
+
+#: Mask selecting the word index of an address (see repro.cache.mshr).
+_WORD_IDX_MASK = WORDS_PER_LINE - 1
+
+#: One queued (not yet admitted) access in an MSHR pipeline:
+#: (addr, is_write, pc, core_id, is_prefetch, on_done, queued_tick).
+_PendingAccess = Tuple[int, bool, int, int, bool, Optional[DoneCallback],
+                       int]
 
 
 class LowerLevel(Protocol):
@@ -66,6 +75,30 @@ class CacheStats:
     writebacks: int = 0
     cleanses: int = 0
     writeback_installs: int = 0
+    #: Demand accesses that merged into an already outstanding miss.
+    secondary_misses: int = 0
+    #: New 8-byte words contributed by merges (request coalescing).
+    coalesced_words: int = 0
+    #: Accesses deferred by MSHR-pipeline admission (occupancy full,
+    #: secondary-miss bound hit, or a blocking cache mid-miss).
+    mshr_stalls: int = 0
+    #: CPU cycles deferred accesses spent queued before admission.
+    mshr_stall_cycles: int = 0
+    #: Local prefetches dropped at admission (they never queue).
+    prefetch_drops: int = 0
+    #: ``hist[k]`` = allocations that brought MSHR occupancy to ``k``.
+    mshr_occupancy_hist: List[int] = field(default_factory=list)
+
+    def snapshot(self) -> "CacheStats":
+        """Copy safe to keep while the live counters mutate.
+
+        ``copy.copy`` alone would alias the occupancy histogram list;
+        sampled runs snapshot per-interval stats while the live object
+        keeps accumulating through discarded re-warm windows.
+        """
+        out = copy.copy(self)
+        out.mshr_occupancy_hist = list(self.mshr_occupancy_hist)
+        return out
 
     @property
     def demand_accesses(self) -> int:
@@ -97,6 +130,9 @@ class Cache:
         lower: LowerLevel,
         writeback_policy=None,
         prefetcher=None,
+        mshr_targets: int = 0,
+        hit_under_miss: bool = True,
+        pipeline: bool = False,
     ) -> None:
         if size_bytes % (ways * LINE_SIZE):
             raise ConfigError(
@@ -129,6 +165,25 @@ class Cache:
         self.mshr: Dict[int, MSHREntry] = {}
         self._outstanding = 0
         self._issue_queue: Deque[int] = deque()
+
+        # MSHR pipeline (opt-in; see repro.cache.mshr).  The legacy
+        # regime keeps admission unconditional, so the access entry
+        # point binds straight to the processing body and the default
+        # configuration pays nothing for the machinery.
+        self._pipeline = pipeline
+        self.mshr_targets = mshr_targets
+        self.hit_under_miss = hit_under_miss
+        self._pending: Deque[_PendingAccess] = deque()
+        #: Stale fills to swallow: drain() completed these misses
+        #: functionally while their lower-level fill was in flight.
+        self._cancelled_fills: Dict[int, int] = {}
+        #: True while admission has accesses queued - the signal Core
+        #: uses to stall issue (plain attribute: read every core tick).
+        self.stalled = False
+        if pipeline:
+            self.access = self._admit_access  # type: ignore[method-assign]
+        else:
+            self.access = self._process  # type: ignore[method-assign]
 
         # Functional-warmup plumbing: the next level's warm entry points,
         # or None when the level below is the memory controller (warm
@@ -172,7 +227,124 @@ class Cache:
         core_id: int = 0,
         is_prefetch: bool = False,
     ) -> None:
-        """Access one line; ``on_done(tick)`` fires when data is available."""
+        """Access one line; ``on_done(tick)`` fires when data is available.
+
+        ``__init__`` rebinds this name per instance (to :meth:`_process`
+        in the legacy regime, :meth:`_admit_access` when the MSHR
+        pipeline is on), so the common path pays nothing for admission;
+        this body only runs through an explicit class-attribute call.
+        """
+        if self._pipeline:
+            self._admit_access(addr, is_write, pc, now, on_done, core_id,
+                               is_prefetch)
+        else:
+            self._process(addr, is_write, pc, now, on_done, core_id,
+                          is_prefetch)
+
+    def _admit_access(
+        self,
+        addr: int,
+        is_write: bool,
+        pc: int,
+        now: int,
+        on_done: Optional[DoneCallback],
+        core_id: int = 0,
+        is_prefetch: bool = False,
+    ) -> None:
+        """Pipeline-regime entry point: admission control, then process."""
+        if (self.mshr or self._pending) and not self._admit(
+                addr, is_write, pc, now, on_done, core_id, is_prefetch):
+            return
+        self._process(addr, is_write, pc, now, on_done, core_id,
+                      is_prefetch)
+
+    def _admit(self, addr: int, is_write: bool, pc: int, now: int,
+               on_done: Optional[DoneCallback], core_id: int,
+               is_prefetch: bool) -> bool:
+        """Whether an access may enter the pipeline right now.
+
+        Only consulted while misses are outstanding.  Admitted (True):
+        hits while ``hit_under_miss``; secondary misses merging into an
+        entry with target headroom; new misses while the MSHR file has a
+        free entry and nothing older is queued (queued accesses drain
+        FIFO - nothing overtakes them except hits and merges, which
+        attach to strictly older misses).  Everything else queues in
+        ``_pending`` and raises :attr:`stalled`; inadmissible *local*
+        prefetches - those with no completion callback - are dropped
+        instead (a real prefetcher gives up under pressure rather than
+        occupying pipeline queue slots).  A prefetch that does carry
+        ``on_done`` is an upper level's MSHR fill in flight; dropping it
+        would wedge that entry forever, so it queues like a demand.
+        """
+        la = addr & _LINE_MASK
+        if self.hit_under_miss:
+            if la in self._tags[(la >> LINE_BITS) & self._set_mask]:
+                return True
+            entry = self.mshr.get(la)
+            if entry is not None:
+                if not self.mshr_targets \
+                        or entry.targets < self.mshr_targets:
+                    return True
+            elif not self._pending and len(self.mshr) < self.mshr_count:
+                return True
+        if is_prefetch and on_done is None:
+            self.stats.prefetch_drops += 1
+            return False
+        self.stats.mshr_stalls += 1
+        self._pending.append(
+            (addr, is_write, pc, core_id, is_prefetch, on_done, now))
+        self.stalled = True
+        return False
+
+    def _head_admissible(self, addr: int) -> bool:
+        """Whether the oldest queued access could enter the pipeline."""
+        if not self.mshr:
+            return True
+        if not self.hit_under_miss:
+            return False
+        la = addr & _LINE_MASK
+        if la in self._tags[(la >> LINE_BITS) & self._set_mask]:
+            return True
+        entry = self.mshr.get(la)
+        if entry is not None:
+            return not self.mshr_targets \
+                or entry.targets < self.mshr_targets
+        return len(self.mshr) < self.mshr_count
+
+    def _drain_pending(self, now: int) -> None:
+        """Replay queued accesses in FIFO order while capacity lasts.
+
+        Called when a fill retires an MSHR entry.  Head-of-line order is
+        strict: the loop stops at the first inadmissible access, which
+        is what makes queued misses drain FIFO (per set and globally).
+        """
+        pending = self._pending
+        stats = self.stats
+        while pending:
+            head = pending[0]
+            if not self._head_admissible(head[0]):
+                break
+            pending.popleft()
+            addr, is_write, pc, core_id, is_prefetch, on_done, queued = \
+                head
+            stats.mshr_stall_cycles += (now - queued) \
+                // TICKS_PER_CPU_CYCLE
+            self._process(addr, is_write, pc, now, on_done, core_id,
+                          is_prefetch)
+        if not pending:
+            self.stalled = False
+
+    def _process(
+        self,
+        addr: int,
+        is_write: bool,
+        pc: int,
+        now: int,
+        on_done: Optional[DoneCallback],
+        core_id: int = 0,
+        is_prefetch: bool = False,
+    ) -> None:
+        """The access body proper (admission, if any, already passed)."""
         la = addr & _LINE_MASK
         set_idx = (la >> LINE_BITS) & self._set_mask
         stats = self.stats
@@ -211,10 +383,16 @@ class Cache:
         else:
             stats.read_misses += 1
 
+        word = (addr >> 3) & _WORD_IDX_MASK
         entry = self.mshr.get(la)
         if entry is not None:
-            entry.merge(is_write, is_prefetch, on_done)
+            mask_before = entry.word_mask
+            entry.merge(is_write, is_prefetch, on_done, word=word)
             stats.mshr_merges += 1
+            if entry.word_mask != mask_before:
+                stats.coalesced_words += 1
+            if not is_prefetch:
+                stats.secondary_misses += 1
         else:
             entry = MSHREntry(
                 line_addr=la,
@@ -223,10 +401,16 @@ class Cache:
                 core_id=core_id,
                 is_prefetch=is_prefetch,
                 allocated_tick=now,
+                word_mask=1 << word,
             )
             if on_done is not None:
                 entry.waiters.append(on_done)
             self.mshr[la] = entry
+            occ = len(self.mshr)
+            hist = stats.mshr_occupancy_hist
+            if len(hist) <= occ:
+                hist.extend([0] * (occ + 1 - len(hist)))
+            hist[occ] += 1
             self._try_issue(la, now)
         if self.prefetcher is not None and not is_prefetch:
             self._run_prefetcher(addr, pc, hit=False, now=now,
@@ -259,12 +443,17 @@ class Cache:
     def _issue(self, line_addr: int, now: int) -> None:
         entry = self.mshr[line_addr]
         entry.issued = True
+        entry.state = ISSUED
         self._outstanding += 1
         self.engine.schedule(now + self.hit_latency_ticks,
                              self._send, line_addr, entry)
 
     def _send(self, line_addr: int, entry: MSHREntry) -> None:
         """Forward an issued miss to the lower level (tag latency elapsed)."""
+        if entry.drained:
+            # drain() completed this miss functionally before the send.
+            return
+        entry.state = FILLING
         self.lower.read(
             line_addr,
             self.engine.now,
@@ -275,6 +464,17 @@ class Cache:
         )
 
     def _on_fill(self, line_addr: int, now: int) -> None:
+        if self._cancelled_fills:
+            stale = self._cancelled_fills.get(line_addr, 0)
+            if stale:
+                # drain() already completed this miss functionally;
+                # swallow the fill before it can touch a same-line entry
+                # allocated after the drain.
+                if stale == 1:
+                    del self._cancelled_fills[line_addr]
+                else:
+                    self._cancelled_fills[line_addr] = stale - 1
+                return
         entry = self.mshr.pop(line_addr, None)
         self._outstanding -= 1
         if self._issue_queue:
@@ -282,11 +482,14 @@ class Cache:
         if entry is None:
             # The fill raced with a writeback-install of the same line.
             return
+        entry.state = DRAINING
         self.stats.fills += 1
         self._install(line_addr, entry.is_write, entry.pc, now,
                       entry.is_prefetch)
         for waiter in entry.waiters:
             waiter(now)
+        if self._pending:
+            self._drain_pending(now)
 
     # ------------------------------------------------------------------
     # Fill / install / evict
@@ -384,7 +587,10 @@ class Cache:
         entry = self.mshr.get(la)
         if entry is not None:
             # A fill for this line is in flight; it will install dirty.
+            # The victim carries the whole line's data, so the fill now
+            # covers every word of the entry (fill-merge).
             entry.is_write = True
+            entry.word_mask = FULL_WORD_MASK
             return
         self._install(la, True, 0, now, is_prefetch=False)
 
@@ -484,17 +690,64 @@ class Cache:
         self._warm_install(la, True, 0, is_prefetch=False)
 
     # ------------------------------------------------------------------
-    # Warm-state snapshot / restore
+    # Drain / warm-state snapshot / restore
     # ------------------------------------------------------------------
 
+    def drain(self, now: int = 0) -> None:
+        """Complete every outstanding miss functionally, right now.
+
+        Queued (not yet admitted) accesses replay through the functional
+        warm path, then every MSHR entry installs its line and fires its
+        waiters at ``now``.  Fills already requested from the lower
+        level are remembered in ``_cancelled_fills`` and swallowed when
+        they arrive, so a stale fill can never complete a same-line
+        entry allocated after the drain; sends still scheduled see the
+        entry's ``drained`` flag and do nothing.  Used by warm-state
+        checkpointing to snapshot mid-miss.  Installs go through the
+        warm path, which never consults the writeback policy - callers
+        tracking dirty lines must re-prime it afterwards (see
+        ``System._prime_writeback_policy``).
+        """
+        while self._pending:
+            (addr, is_write, pc, _core_id, is_prefetch, on_done,
+             _queued) = self._pending.popleft()
+            self.warm_access(addr, is_write, pc, is_prefetch=is_prefetch)
+            if on_done is not None:
+                on_done(now)
+        self.stalled = False
+        if not self.mshr:
+            return
+        for la, entry in self.mshr.items():
+            if entry.state == FILLING:
+                self._cancelled_fills[la] = \
+                    self._cancelled_fills.get(la, 0) + 1
+            entry.state = DRAINING
+            entry.drained = True
+        for la, entry in self.mshr.items():
+            found = self.find_line(la)
+            if found is None:
+                self._warm_install(la, entry.is_write, entry.pc,
+                                   entry.is_prefetch)
+            elif entry.is_write:
+                set_idx, way = found
+                self.sets[set_idx].lines[way].dirty = True
+            for waiter in entry.waiters:
+                waiter(now)
+        self.mshr.clear()
+        self._issue_queue.clear()
+        self._outstanding = 0
+
     def snapshot_warm_state(self) -> "CacheWarmState":
-        """Deep-copied warm state: tag array + replacement + prefetcher."""
+        """Deep-copied warm state: tag array + replacement + prefetcher.
+
+        Outstanding misses (MSHR entries or queued accesses) no longer
+        raise: they are completed functionally via :meth:`drain` first,
+        so mid-miss checkpointing captures the post-drain state.
+        """
         from repro.sim.warmstate import CacheWarmState
 
-        if self.mshr:
-            raise SimulationError(
-                f"{self.name}: cannot snapshot with outstanding MSHRs "
-                "(snapshots require a functional warmup)")
+        if self.mshr or self._pending:
+            self.drain(self.engine.now)
         lines: List[List[Optional[Tuple[int, bool, int, bool, bool]]]] = []
         for cset in self.sets:
             lines.append([

@@ -24,12 +24,34 @@ class CacheConfig:
     mshrs: int
     replacement: str = "lru"
     prefetcher: Optional[str] = None
+    #: Max requests coalesced into one MSHR entry (0 = unlimited);
+    #: exceeding it is a secondary-miss stall.  Pipeline regime only.
+    mshr_targets: int = 0
+    #: Whether hits may proceed while misses are outstanding.  ``False``
+    #: models a blocking cache.  Pipeline regime only.
+    hit_under_miss: bool = True
+    #: Opt into the MSHR pipeline: ``mshrs`` becomes a true MSHR-file
+    #: occupancy bound with admission stalls that back up into the core
+    #: (see ``docs/architecture.md``).  The default (off) keeps the
+    #: legacy issue-bandwidth interpretation, bit-identical to the seed
+    #: model.
+    mshr_pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.ways <= 0:
             raise ConfigError("cache size and ways must be positive")
         if self.hit_latency < 1 or self.mshrs < 1:
             raise ConfigError("cache latency and MSHR count must be >= 1")
+        if self.mshr_targets < 0:
+            raise ConfigError("mshr_targets must be >= 0 (0 = unlimited)")
+        if self.mshr_targets and not self.mshr_pipeline:
+            raise ConfigError(
+                "mshr_targets needs mshr_pipeline=True (the legacy "
+                "regime never bounds coalescing)")
+        if not self.hit_under_miss and not self.mshr_pipeline:
+            raise ConfigError(
+                "hit_under_miss=False needs mshr_pipeline=True (the "
+                "legacy regime always hits under miss)")
 
 
 @dataclass(frozen=True)
@@ -137,6 +159,24 @@ class SystemConfig:
         :class:`~repro.errors.ConfigError`.
         """
         return replace(self, sampling=sampling)
+
+    def with_mshrs(self, mshrs: int) -> "SystemConfig":
+        """Copy with the MSHR pipeline on and scaled MSHR files.
+
+        ``mshrs`` sizes the L1D MSHR file; L2 gets ``2x`` and the LLC
+        ``8x``, preserving the default 16/32/128 proportions so one knob
+        sweeps the whole hierarchy's miss parallelism (the ``mshr``
+        sweep axis).  The L1I keeps the legacy regime - instruction
+        fetch is not the paper's MLP story.
+        """
+        if mshrs < 1:
+            raise ConfigError("with_mshrs needs mshrs >= 1")
+        return replace(
+            self,
+            l1d=replace(self.l1d, mshrs=mshrs, mshr_pipeline=True),
+            l2=replace(self.l2, mshrs=2 * mshrs, mshr_pipeline=True),
+            llc=replace(self.llc, mshrs=8 * mshrs, mshr_pipeline=True),
+        )
 
     def with_wq(self, capacity: int, high: Optional[int] = None,
                 low: Optional[int] = None) -> "SystemConfig":

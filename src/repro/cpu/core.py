@@ -38,6 +38,9 @@ class CoreStats:
     start_tick: int = 0
     finish_tick: int = 0
     sleeps: int = 0
+    #: CPU cycles issue stalled because the L1D MSHR pipeline backed up
+    #: (admission queue non-empty; only a pipeline-regime L1D raises it).
+    mshr_stall_cycles: int = 0
 
     @property
     def cycles(self) -> float:
@@ -70,6 +73,11 @@ class Core:
         self.trace = trace
         self.engine = engine
         self.l1d = l1d
+        if not hasattr(l1d, "stalled"):
+            # Duck-type substitutes (test fakes, ideal memories) never
+            # stall; give them the flag so the per-tick read stays a
+            # plain attribute load.
+            l1d.stalled = False
         self.l1i = l1i
         self.dtlb = dtlb
         self.itlb = itlb
@@ -230,6 +238,17 @@ class Core:
             on_quota(self)
         if stats.retired >= budget:
             self._finish(now)
+            return
+
+        if self.l1d.stalled:
+            # The L1D's MSHR admission queue backed up into us: issue
+            # stalls this cycle (retirement above still ran) and retries
+            # next cycle.  Progress is guaranteed - a non-empty queue
+            # implies a fill in flight.  Always False in the legacy
+            # regime, so the default configuration's event schedule is
+            # untouched.
+            stats.mshr_stall_cycles += 1
+            self._schedule_tick(now + cpu_cycle)
             return
 
         rob_entries = rob.entries

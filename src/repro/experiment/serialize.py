@@ -33,7 +33,9 @@ from repro.sampling.stats import MetricEstimate, SamplingSummary
 from repro.sim.results import RunResult
 
 #: Bump when the RunResult schema changes incompatibly.
-RESULT_FORMAT = 2
+#: v3: CacheStats gained the MSHR-pipeline counters (including the
+#: list-valued occupancy histogram) and RunResult ``mshr_stall_cycles``.
+RESULT_FORMAT = 3
 
 #: Bump when the ExperimentSpec wire schema changes incompatibly.
 EXPERIMENT_FORMAT = 1

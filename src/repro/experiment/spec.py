@@ -30,7 +30,10 @@ from repro.errors import ConfigError
 #: Bump when simulator semantics change enough to invalidate cached runs.
 #: v2: SystemConfig gained the ``sampling`` axis (sampled and full runs
 #: of the same machine/trace hash differently by construction).
-RUN_KEY_VERSION = 2
+#: v3: CacheConfig gained the MSHR-pipeline knobs (``mshr_targets``,
+#: ``hit_under_miss``, ``mshr_pipeline``) and the warm signature stopped
+#: hashing MSHR timing fields.
+RUN_KEY_VERSION = 3
 
 #: Canonical label for the no-policy (LRU writeback) baseline.
 BASELINE = "baseline"
@@ -140,6 +143,9 @@ AXIS_MODIFIERS: Dict[str, Callable[[SystemConfig, str], SystemConfig]] = {
     "device": lambda cfg, v: cfg.with_device(v),
     "replacement": lambda cfg, v: cfg.with_replacement(v),
     "drain": lambda cfg, v: cfg.with_drain_policy(v),
+    # MSHR-count sweep: enables the MSHR pipeline and scales the whole
+    # hierarchy's MSHR files off one L1D count (L2 2x, LLC 8x).
+    "mshr": lambda cfg, v: cfg.with_mshrs(int(v)),
     # Flag axes SET the state (so 'off' clears a flag the base config
     # enabled); apply-only-if-truthy would silently collapse grid points.
     "refresh": lambda cfg, v: dataclasses.replace(

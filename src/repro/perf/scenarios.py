@@ -1,6 +1,6 @@
 """Performance scenarios: what the perf harness times, and how.
 
-Three throughput scenarios cover the simulator's qualitatively different
+Four throughput scenarios cover the simulator's qualitatively different
 hot paths:
 
 ``write_stream``
@@ -12,6 +12,10 @@ hot paths:
 ``multicore_ddr5``
     ``mix0`` on the 16-core, two-channel system - the scaling
     configuration, stressing the engine's event queue and both channels.
+``mshr_pressure``
+    ``bc`` again, but with the MSHR pipeline enabled and a tight MSHR
+    file (``with_mshrs(2)``) - stressing admission control, the pending
+    queue, and the core's issue-stall path.
 
 Throughput is reported as **engine events per second of host wall time**.
 The event count for a given (config, workload, seed) is deterministic
@@ -82,11 +86,16 @@ class PerfScenario:
     workload: str
     preset: str  # "small_8core" | "small_16core"
     description: str
+    #: When set, enables the MSHR pipeline with this L1D MSHR count
+    #: (scaled through the hierarchy by ``SystemConfig.with_mshrs``).
+    mshrs: Optional[int] = None
 
     def config(self, warmup: int, sim: int) -> SystemConfig:
         """The scenario's system config with the given instruction budget."""
         base = small_16core() if self.preset == "small_16core" \
             else small_8core()
+        if self.mshrs is not None:
+            base = base.with_mshrs(self.mshrs)
         return replace(base, warmup_instructions=warmup,
                        sim_instructions=sim)
 
@@ -111,6 +120,14 @@ SCENARIOS: List[PerfScenario] = [
         workload="mix0",
         preset="small_16core",
         description="16-core two-channel DDR5 mix (event-queue scaling)",
+    ),
+    PerfScenario(
+        name="mshr_pressure",
+        workload="bc",
+        preset="small_8core",
+        description="graph mix under a tight MSHR file (pipeline "
+                    "admission / core-stall path)",
+        mshrs=2,
     ),
 ]
 

@@ -88,10 +88,25 @@ def validate_plan(sampling: SamplingConfig,
 
 
 def _sum_counters(cls, items: Sequence):
-    """Field-wise sum of plain counter dataclasses (all-numeric fields)."""
+    """Field-wise sum of plain counter dataclasses.
+
+    Numeric fields sum directly; list-valued fields (histograms, e.g.
+    ``CacheStats.mshr_occupancy_hist``) sum element-wise with the result
+    as long as the longest interval's list.
+    """
     out = cls()
     for f in dataclasses.fields(cls):
-        setattr(out, f.name, sum(getattr(item, f.name) for item in items))
+        values = [getattr(item, f.name) for item in items]
+        if values and isinstance(values[0], list):
+            merged: List[float] = []
+            for hist in values:
+                if len(hist) > len(merged):
+                    merged.extend([0] * (len(hist) - len(merged)))
+                for i, count in enumerate(hist):
+                    merged[i] += count
+            setattr(out, f.name, merged)
+        else:
+            setattr(out, f.name, sum(values))
     return out
 
 
@@ -148,6 +163,8 @@ def aggregate_results(
         bard_accuracy=accuracy,
         llc_demand_accesses=llc.demand_accesses,
         events=sum(res.events for res in intervals),
+        mshr_stall_cycles=sum(res.mshr_stall_cycles
+                              for res in intervals),
         sampling=summary,
     )
 

@@ -35,6 +35,9 @@ class RunResult:
     #: deterministic in (config, workload, seed) and the denominator-free
     #: numerator of the perf harness's events/sec metric.
     events: int = 0
+    #: CPU cycles core issue stalled on L1D MSHR-pipeline backpressure,
+    #: summed over cores (0 unless ``mshr_pipeline`` is on somewhere).
+    mshr_stall_cycles: int = 0
     #: How the run was sampled, with per-metric confidence intervals;
     #: ``None`` for full (unsampled) runs.
     sampling: Optional[SamplingSummary] = None
@@ -93,6 +96,27 @@ class RunResult:
     @property
     def mean_ipc(self) -> float:
         return sum(self.ipc) / len(self.ipc) if self.ipc else 0.0
+
+    # -- MSHR pipeline pressure (LLC view; docs/architecture.md) -------
+
+    @property
+    def secondary_misses(self) -> int:
+        """LLC demand accesses that merged into an outstanding miss."""
+        return self.llc.secondary_misses
+
+    @property
+    def coalesced_words(self) -> int:
+        """New 8-byte words merges contributed to LLC MSHR entries."""
+        return self.llc.coalesced_words
+
+    @property
+    def mshr_occupancy_mean(self) -> float:
+        """Mean LLC MSHR occupancy observed at entry allocation."""
+        hist = self.llc.mshr_occupancy_hist
+        total = sum(hist)
+        if not total:
+            return 0.0
+        return sum(i * n for i, n in enumerate(hist)) / total
 
     def weighted_speedup(self, baseline: "RunResult") -> float:
         """Normalised weighted speedup versus ``baseline`` (same workload).

@@ -79,6 +79,9 @@ class System:
             self.engine,
             self.memctrl,
             writeback_policy=self.llc_policy,
+            mshr_targets=config.llc.mshr_targets,
+            hit_under_miss=config.llc.hit_under_miss,
+            pipeline=config.llc.mshr_pipeline,
         )
 
         self.cores: List[Core] = []
@@ -124,6 +127,9 @@ class System:
             self.engine,
             lower,
             prefetcher=make_prefetcher(cfg.prefetcher),
+            mshr_targets=cfg.mshr_targets,
+            hit_under_miss=cfg.hit_under_miss,
+            pipeline=cfg.mshr_pipeline,
         )
 
     # ------------------------------------------------------------------
@@ -243,6 +249,18 @@ class System:
     def _warm_caches(self) -> List[Cache]:
         """Caches in canonical snapshot order."""
         return [self.llc, *self.l2s, *self.l1ds, *self.l1is]
+
+    def drain(self) -> None:
+        """Functionally complete every in-flight cache miss, top down.
+
+        Upper levels drain first so their warm installs (and any warm
+        writebacks of evicted dirty victims) land in still-live lower
+        levels; the LLC drains last.  The writeback policy's dirty index
+        is re-primed afterwards (the warm path never consults it).
+        """
+        for cache in [*self.l1is, *self.l1ds, *self.l2s, self.llc]:
+            cache.drain(self.engine.now)
+        self._prime_writeback_policy()
 
     def _bank_command_totals(self) -> Tuple[int, int]:
         """Lifetime (activates, precharges) summed over every bank."""
@@ -366,7 +384,9 @@ class System:
             instructions=instructions,
             elapsed_ticks=finish - start_tick,
             ipc=[s.ipc for s in core_stats],
-            llc=copy.copy(self.llc.stats),
+            llc=self.llc.stats.snapshot(),
+            mshr_stall_cycles=sum(s.mshr_stall_cycles
+                                  for s in core_stats),
             dram=dram_total,
             channels=[copy.copy(c.stats) for c in self.channels],
             subchannel_count=2 * len(self.channels),

@@ -47,19 +47,31 @@ def warm_config_signature(config: "SystemConfig") -> str:
     the same (workload, seed), so their runs can share one checkpoint.
     DRAM parameters, ROB/issue/retire widths, ``sim_instructions`` and
     the LLC writeback policy are deliberately excluded - none of them
-    influence the functional warm path.
+    influence the functional warm path.  So are the per-level MSHR
+    timing knobs (``mshrs``, ``mshr_targets``, ``hit_under_miss``,
+    ``mshr_pipeline``): the functional warm path has no MSHRs at all,
+    which lets every point of an ``mshr`` sweep share one checkpoint.
     """
     payload = {
         "cores": config.cores,
         "warmup_instructions": config.warmup_instructions,
         "warmup_mode": config.warmup_mode,
-        "l1i": dataclasses.asdict(config.l1i),
-        "l1d": dataclasses.asdict(config.l1d),
-        "l2": dataclasses.asdict(config.l2),
-        "llc": dataclasses.asdict(config.llc),
+        "l1i": _warm_cache_fields(config.l1i),
+        "l1d": _warm_cache_fields(config.l1d),
+        "l2": _warm_cache_fields(config.l2),
+        "llc": _warm_cache_fields(config.llc),
     }
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def _warm_cache_fields(cache_config) -> dict:
+    """One level's config minus the fields the warm path ignores."""
+    fields = dataclasses.asdict(cache_config)
+    for timing_only in ("mshrs", "mshr_targets", "hit_under_miss",
+                        "mshr_pipeline"):
+        fields.pop(timing_only, None)
+    return fields
 
 
 @dataclass

@@ -50,8 +50,13 @@ def collect_stats(result: RunResult) -> dict:
     for f in ("accesses", "hits", "misses", "read_misses", "write_misses",
               "prefetch_accesses", "prefetch_misses", "mshr_merges", "fills",
               "evictions", "dirty_evictions", "writebacks", "cleanses",
-              "writeback_installs"):
+              "writeback_installs", "secondary_misses", "coalesced_words",
+              "mshr_stalls", "mshr_stall_cycles", "prefetch_drops"):
         out[f"llc.{f}"] = getattr(llc, f)
+    out["llc.mshr_occupancy_hist"] = list(llc.mshr_occupancy_hist)
+    # Core-side issue stalls from MSHR-pipeline back-pressure (zero for
+    # every legacy-regime scenario by construction).
+    out["mshr_stall_cycles"] = result.mshr_stall_cycles
     dram = result.dram
     for f in ("reads_issued", "writes_issued", "read_row_hits",
               "read_row_conflicts", "write_row_hits", "write_row_conflicts",

@@ -1,7 +1,10 @@
 """Cache line/set containers and MSHR entry merging."""
 
+import random
+
 from repro.cache.line import CacheLine, CacheSet
-from repro.cache.mshr import MSHREntry
+from repro.cache.mshr import ALLOCATED, FULL_WORD_MASK, MSHREntry, \
+    WORDS_PER_LINE, word_index
 
 
 class TestCacheLine:
@@ -71,3 +74,60 @@ class TestMSHREntry:
         e = self._entry()
         e.merge(False, False, None)
         assert e.waiters == []
+
+    def test_word_coalescing(self):
+        e = self._entry(word_mask=1 << 0)
+        e.merge(False, False, None, word=3)
+        e.merge(False, False, None, word=3)  # duplicate word
+        e.merge(True, False, None, word=7)
+        assert e.word_mask == (1 << 0) | (1 << 3) | (1 << 7)
+        assert e.targets == 4
+
+    def test_full_word_mask_covers_line(self):
+        e = self._entry(word_mask=0)
+        for w in range(WORDS_PER_LINE):
+            e.merge(False, False, None, word=w)
+        assert e.word_mask == FULL_WORD_MASK
+
+    def test_word_index_mapping(self):
+        assert word_index(0x40) == 0
+        assert word_index(0x48) == 1
+        assert word_index(0x7F) == 7
+        # Line-relative: same offset in any line maps to the same word.
+        assert word_index(0x1000 + 24) == word_index(24) == 3
+
+    def test_fresh_entry_state(self):
+        e = self._entry()
+        assert e.state == ALLOCATED
+        assert not e.issued and not e.drained
+        assert e.targets == 1
+
+
+class TestMergeMonotonicity:
+    """Random merge streams: write-ness/demand-ness never downgrade,
+    the word mask only grows, and targets count every merge."""
+
+    def _random_merges(self, seed, start_prefetch):
+        rng = random.Random(seed)
+        e = MSHREntry(line_addr=0x40, is_write=False, pc=1, core_id=0,
+                      is_prefetch=start_prefetch, allocated_tick=0,
+                      word_mask=1 << rng.randrange(WORDS_PER_LINE))
+        trace = []
+        for _ in range(60):
+            before = (e.is_write, e.is_prefetch, e.word_mask, e.targets)
+            e.merge(rng.random() < 0.4, rng.random() < 0.5,
+                    (lambda t: None) if rng.random() < 0.5 else None,
+                    word=rng.randrange(WORDS_PER_LINE))
+            trace.append((before, (e.is_write, e.is_prefetch,
+                                   e.word_mask, e.targets)))
+        return trace
+
+    def test_monotone_under_random_streams(self):
+        for seed in range(6):
+            for start_prefetch in (False, True):
+                trace = self._random_merges(seed, start_prefetch)
+                for (w0, p0, m0, t0), (w1, p1, m1, t1) in trace:
+                    assert w1 >= w0          # write-ness never downgrades
+                    assert p1 <= p0          # demand-ness never downgrades
+                    assert m1 & m0 == m0     # word mask only grows
+                    assert t1 == t0 + 1      # every merge is a target

@@ -73,6 +73,24 @@ class TestGoldenEquivalence:
         assert have.pop("sampling") is not None
         assert have == want
 
+    def test_one_interval_equals_full_run_with_mshr_pipeline(self):
+        """The equivalence survives the MSHR pipeline: interval
+        boundaries drain the pipeline's pending queues, and a tight
+        MSHR file exercises admission stalls inside the interval."""
+        full_cfg = tiny_config(warmup_mode="functional").with_mshrs(2)
+        full = run_system(full_cfg, workload="bc")
+        assert full.mshr_stall_cycles > 0  # the pipeline actually bites
+        sampled_cfg = full_cfg.with_sampling(SamplingConfig(
+            intervals=1,
+            interval_instructions=full_cfg.sim_instructions,
+            warm_instructions=0, detailed_warm_instructions=0))
+        sampled = run_system(sampled_cfg, workload="bc")
+        want = dataclasses.asdict(full)
+        have = dataclasses.asdict(sampled)
+        assert want.pop("sampling") is None
+        assert have.pop("sampling") is not None
+        assert have == want
+
     def test_one_interval_summary_is_degenerate(self):
         cfg = tiny_config(warmup_mode="functional")
         sampled = run_system(cfg.with_sampling(SamplingConfig(
