@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Chaos smoke driver: deterministic fault scenarios, zero leaks.
+
+Runs three scripted fault-injection scenarios against an in-process
+``ExperimentService`` in deterministic ``use_processes=False`` mode:
+
+* ``worker-crash``      — a run raises transiently on its first two
+                          attempts; retries must absorb it.
+* ``hang-timeout``      — a run sleeps far past the job timeout; the
+                          reaper must retire the hung shard, respawn a
+                          replacement, and the retry must finish.
+* ``corrupt-cache``     — a just-written store entry is garbled on
+                          disk; the integrity check must quarantine the
+                          file and the service must recompute it.
+
+Each scenario must end with every job DONE and **zero** jobs in the
+QUARANTINED dead-letter state — the gate CI enforces.  Faults are
+seeded ``FaultPlan``s, so a failure here replays identically.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos/run_chaos.py [--json OUT]
+
+Exit status 0 iff every scenario passed its gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.config.system import CacheConfig, DramConfig, SystemConfig
+from repro.experiment import ExperimentSpec
+from repro.resilience import FaultPlan, FaultRule, RetryPolicy, injected
+from repro.service import ExperimentService, ServiceConfig
+from repro.service.queue import DONE, FAILED, QUARANTINED
+
+
+def tiny_config(**overrides) -> SystemConfig:
+    """The tests' minimal 2-core system, restated for the driver."""
+    defaults = dict(
+        cores=2,
+        rob_size=128,
+        issue_width=4,
+        retire_width=4,
+        l1i=CacheConfig(1024, 8, 1, 4),
+        l1d=CacheConfig(1536, 12, 4, 8, prefetcher="berti"),
+        l2=CacheConfig(8192, 8, 14, 16, prefetcher="spp"),
+        llc=CacheConfig(32768, 16, 36, 64),
+        dram=DramConfig(channels=1),
+        warmup_instructions=1_000,
+        sim_instructions=4_000,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def _service(root: Path, **overrides) -> ExperimentService:
+    defaults = dict(
+        state_dir=root / "state",
+        store_dir=root / "store",
+        shards=2,
+        use_processes=False,
+        poll_interval=0.01,
+        retry=RetryPolicy(max_attempts=4, base_delay=0.005,
+                          max_delay=0.05, seed=7),
+    )
+    defaults.update(overrides)
+    return ExperimentService(ServiceConfig(**defaults))
+
+
+def _grid(workloads, name) -> ExperimentSpec:
+    return ExperimentSpec(workloads=list(workloads),
+                          configs=tiny_config(), name=name)
+
+
+def _run_scenario(root: Path, plan: FaultPlan, grid: ExperimentSpec,
+                  **service_overrides) -> Dict[str, object]:
+    """Drive one grid to completion under ``plan``; return evidence."""
+    with _service(root, **service_overrides) as service:
+        with injected(plan):
+            ticket = service.submit(grid, tenant="chaos")
+            if not service.drain(timeout=120.0):
+                raise AssertionError("service failed to drain")
+            status = service.status(ticket["grid_id"])
+        counts = service.queue.counts()
+        stats = service.workers.stats_dict()
+        store_stats = service.store.stats_dict()
+    return {
+        "state": status["state"],
+        "faults_fired": plan.fired(),
+        "done": counts[DONE],
+        "failed": counts[FAILED],
+        "quarantined": counts[QUARANTINED],
+        "retried": stats["retried"],
+        "timeouts": stats["timeouts"],
+        "pool_respawns": stats["pool_respawns"],
+        "integrity_failures": store_stats["integrity_failures"],
+    }
+
+
+def scenario_worker_crash(root: Path) -> Dict[str, object]:
+    grid = _grid(("copy", "whiskey"), "chaos-crash")
+    victim = sorted(grid.expand().runs)[0]
+    plan = FaultPlan(rules=[FaultRule(site="simulate", action="raise",
+                                      match=victim, times=2)], seed=11)
+    out = _run_scenario(root, plan, grid)
+    assert out["faults_fired"] == 2, out
+    assert out["retried"] >= 2, out
+    return out
+
+
+def scenario_hang_timeout(root: Path) -> Dict[str, object]:
+    grid = _grid(("copy",), "chaos-hang")
+    plan = FaultPlan(rules=[FaultRule(site="simulate", action="hang",
+                                      seconds=30.0, times=1)], seed=11)
+    out = _run_scenario(root, plan, grid, shards=1, job_timeout=2.0)
+    assert out["timeouts"] >= 1, out
+    assert out["pool_respawns"] >= 1, out
+    return out
+
+
+def scenario_corrupt_cache(root: Path) -> Dict[str, object]:
+    grid = _grid(("copy",), "chaos-corrupt")
+    plan = FaultPlan(rules=[FaultRule(site="cache.put", action="garble",
+                                      times=1)], seed=11)
+    with _service(root) as service:
+        with injected(plan):
+            ticket = service.submit(grid, tenant="chaos")
+            assert service.drain(timeout=120.0)
+        # Reading results hits the garbled entry: the integrity check
+        # quarantines it and readmits the job for recomputation.
+        from repro.service.service import ResultPending
+        try:
+            service.result_set(ticket["grid_id"])
+        except ResultPending:
+            assert service.drain(timeout=120.0)
+        result = service.result_set(ticket["grid_id"])
+        assert len(result) == len(grid.expand().runs)
+        counts = service.queue.counts()
+        stats = service.workers.stats_dict()
+        store_stats = service.store.stats_dict()
+    assert plan.fired() == 1
+    assert store_stats["integrity_failures"] >= 1, store_stats
+    return {
+        "state": "done",
+        "faults_fired": plan.fired(),
+        "done": counts[DONE],
+        "failed": counts[FAILED],
+        "quarantined": counts[QUARANTINED],
+        "retried": stats["retried"],
+        "timeouts": stats["timeouts"],
+        "pool_respawns": stats["pool_respawns"],
+        "integrity_failures": store_stats["integrity_failures"],
+    }
+
+
+SCENARIOS: List[Callable[[Path], Dict[str, object]]] = [
+    scenario_worker_crash,
+    scenario_hang_timeout,
+    scenario_corrupt_cache,
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="OUT", default=None,
+                        help="write the scenario report as JSON")
+    args = parser.parse_args(argv)
+
+    report, failed = {}, []
+    for scenario in SCENARIOS:
+        name = scenario.__name__.replace("scenario_", "").replace(
+            "_", "-")
+        root = Path(tempfile.mkdtemp(prefix=f"chaos-{name}-"))
+        try:
+            out = scenario(root)
+        except AssertionError as exc:
+            out = {"error": str(exc)}
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        report[name] = out
+        # The gate: every job terminal as DONE, zero dead letters.
+        ok = (out.get("state") == "done"
+              and out.get("failed") == 0
+              and out.get("quarantined") == 0)
+        print(f"[{'ok' if ok else 'FAIL'}] {name}: {out}")
+        if not ok:
+            failed.append(name)
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2))
+    if failed:
+        print(f"chaos smoke FAILED: quarantine/terminal gate tripped "
+              f"in {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("chaos smoke ok: all scenarios done, zero quarantine leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ Commands
 ``list``           available workloads, policies, presets, and axes
 ``serve``          run the long-running experiment service (HTTP API)
 ``submit``         submit a grid to a running service and fetch results
+``jobs``           inspect a service's job table (``--quarantined`` for
+                   the dead-letter queue; ``--requeue`` to drain it)
 
 Every simulating command runs through the declarative experiment layer
 (:mod:`repro.experiment`): duplicate grid points simulate once, finished
@@ -418,6 +420,10 @@ def _cmd_serve(args) -> int:
 
     state_dir = Path(args.state_dir) if args.state_dir \
         else default_cache_dir() / "service"
+    from repro.resilience import RetryPolicy
+
+    if args.max_attempts <= 0:
+        raise ConfigError("--max-attempts must be positive")
     config = ServiceConfig(
         state_dir=state_dir,
         store_dir=Path(args.cache_dir) if args.cache_dir else None,
@@ -425,6 +431,8 @@ def _cmd_serve(args) -> int:
         max_group=args.max_group,
         max_pending_per_tenant=args.max_pending_per_tenant,
         max_pending_total=args.max_pending_total,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        job_timeout=args.job_timeout if args.job_timeout > 0 else None,
     )
     if args.max_group <= 0:
         raise ConfigError("--max-group must be positive")
@@ -449,7 +457,8 @@ def _cmd_serve(args) -> int:
 
 def _cmd_submit(args) -> int:
     """Submit a grid to a running service; optionally wait for results."""
-    from repro.service import Backpressure, ServiceClient, ServiceError
+    from repro.service import Backpressure, ResultNotReady, \
+        ServiceClient, ServiceError
 
     spec = _grid_spec(args, "submit")
     metrics = list(args.metrics)
@@ -470,6 +479,16 @@ def _cmd_submit(args) -> int:
         client.wait(ticket["grid_id"], timeout=args.timeout,
                     poll=args.poll)
         result = client.result(ticket["grid_id"], metrics=metrics)
+    except ResultNotReady:
+        # A stored result failed its integrity check mid-fetch; the
+        # service already re-admitted the run.  Wait it out once more.
+        try:
+            client.wait(ticket["grid_id"], timeout=args.timeout,
+                        poll=args.poll)
+            result = client.result(ticket["grid_id"], metrics=metrics)
+        except ServiceError as retry_exc:
+            print(f"error: {retry_exc}", file=sys.stderr)
+            return 4
     except Backpressure as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
@@ -494,6 +513,58 @@ def _cmd_submit(args) -> int:
           f"{stats['store_hits']} store hits, "
           f"{stats['inflight_dedup']} shared in-flight "
           f"of {stats['unique_runs']} unique runs")
+    if result.get("quarantined"):
+        print(f"warning: grid degraded - {result['quarantined']} "
+              f"run(s) quarantined after repeated failures; inspect "
+              f"with 'repro jobs --server {args.server} --quarantined'",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    """Inspect (and requeue) a running service's job table."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server, timeout=args.timeout)
+    try:
+        if args.requeue is not None:
+            # nargs="*": bare --requeue drains the whole dead-letter
+            # queue; named keys limit the scope.
+            out = client.requeue_quarantined(args.requeue or None)
+            print(f"requeued {out['requeued']} quarantined job(s)")
+            return 0
+        state = "quarantined" if args.quarantined else args.state
+        listing = client.jobs(state)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    if args.json:
+        print(json.dumps(listing, indent=2))
+        return 0
+    jobs = listing["jobs"]
+    scope = f" in state {state!r}" if state else ""
+    if not jobs:
+        print(f"no jobs{scope}")
+        return 0
+    rows = []
+    for job in jobs:
+        error = job["error"]
+        rows.append((job["key"][:16], job["tenant"], job["state"],
+                     job["attempts"],
+                     error[:44] + ("..." if len(error) > 44 else "")))
+    print(format_table(
+        ["key", "tenant", "state", "attempts", "last error"], rows,
+        title=f"{len(jobs)} job(s){scope} via {args.server}"))
+    chains = [j for j in jobs
+              if j["state"] == "quarantined" and j["error_chain"]]
+    if chains:
+        print("\nerror chains (oldest attempt first):")
+        for job in chains:
+            print(f"  {job['key'][:16]}:")
+            for entry in job["error_chain"]:
+                print(f"    {entry}")
+        print("requeue with: repro jobs --server "
+              f"{args.server} --requeue [KEY ...]")
     return 0
 
 
@@ -598,6 +669,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--max-pending-total", type=int, default=256,
                        dest="max_pending_total", metavar="N",
                        help="global pending-job bound (429 beyond)")
+    p_srv.add_argument("--job-timeout", dest="job_timeout", type=float,
+                       default=900.0, metavar="SECONDS",
+                       help="reap groups making no progress for this "
+                            "long and respawn their shard "
+                            "(0 disables; default 900)")
+    p_srv.add_argument("--max-attempts", dest="max_attempts", type=int,
+                       default=3, metavar="N",
+                       help="execution budget per job before it is "
+                            "quarantined (default 3)")
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     p_srv.set_defaults(fn=_cmd_serve)
@@ -632,6 +712,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the result envelope as JSON")
     _add_config_args(p_sub)
     p_sub.set_defaults(fn=_cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="inspect a running service's job table")
+    p_jobs.add_argument("--server", default="http://127.0.0.1:8023",
+                        help="service base URL")
+    p_jobs.add_argument("--state", default=None,
+                        help="filter by job state "
+                             "(pending/running/done/failed/cancelled/"
+                             "quarantined)")
+    p_jobs.add_argument("--quarantined", action="store_true",
+                        help="shorthand for --state quarantined "
+                             "(the dead-letter queue)")
+    p_jobs.add_argument("--requeue", nargs="*", metavar="KEY",
+                        default=None,
+                        help="requeue quarantined jobs (no keys = all) "
+                             "with a fresh attempt budget")
+    p_jobs.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS", help="HTTP timeout")
+    p_jobs.add_argument("--json", action="store_true",
+                        help="emit the job listing as JSON")
+    p_jobs.set_defaults(fn=_cmd_jobs)
 
     return parser
 

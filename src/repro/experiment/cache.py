@@ -1,9 +1,14 @@
-"""Persistent on-disk result cache.
+"""Persistent on-disk result cache with content integrity checking.
 
 Results live as one JSON file per unique run, named by the run's content
 hash, under ``~/.cache/repro`` (overridable via ``REPRO_CACHE_DIR`` or a
-caller-supplied directory).  Files are written atomically; unreadable,
-corrupt, or stale-format files simply read as misses.
+caller-supplied directory).  Files are written atomically and carry a
+``checksum`` over the canonical payload JSON; every read verifies it.
+A file that is unreadable, torn, stale-format, or *silently garbled*
+(parseable JSON whose numbers no longer match the checksum - bit rot, a
+partial copy, a buggy sync tool) is **quarantined** to a ``quarantine/``
+sidecar directory and reads as a miss, so the run is transparently
+recomputed instead of corrupt data being served as truth.
 
 The cache is safe for concurrent writers.  Many Sessions and service
 worker shards routinely share one cache directory, so each publish
@@ -18,9 +23,11 @@ non-atomic filesystems (NFS, some overlayfs) from dropping entries.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Iterator, Optional
@@ -32,6 +39,7 @@ except ImportError:  # pragma: no cover - platform dependent
 
 from repro.experiment.serialize import result_from_dict, result_to_dict
 from repro.experiment.spec import RunSpec
+from repro.resilience import faults
 from repro.sim.results import RunResult
 
 #: Environment override for the default cache location.
@@ -55,26 +63,104 @@ def default_cache_dir() -> Path:
     return base / "repro"
 
 
+def payload_checksum(payload: object) -> str:
+    """Checksum over the canonical (sorted, compact) payload JSON.
+
+    ``json.dumps`` round-trips floats exactly (``repr``-based), so the
+    checksum survives a write/parse cycle and only changes when the
+    *values* change.
+    """
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()
+
+
 class ResultCache:
-    """Content-addressed store of finished runs."""
+    """Content-addressed store of finished runs, verified on read."""
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self.directory = Path(directory) if directory \
             else default_cache_dir()
+        #: Entries quarantined after failing verification (monotonic).
+        self.integrity_failures = 0
+        # Entries are immutable (content-addressed), so a key verified
+        # once never needs re-hashing this process.
+        self._verified: set = set()
+        self._verified_lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> Optional[RunResult]:
-        """Cached result for a run key, or ``None`` on miss."""
+    def _quarantine(self, key: str) -> None:
+        """Move a failed entry aside (never serve it, keep the evidence)."""
         path = self._path(key)
-        # Any malformed file - unreadable, non-JSON, wrong shape, or
-        # drifted inner fields - reads as a miss and gets re-simulated.
+        target_dir = self.directory / "quarantine"
         try:
-            payload = json.loads(path.read_text())
-            return result_from_dict(payload.get("payload", {}))
-        except (OSError, ValueError, AttributeError, TypeError, KeyError):
+            target_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(target_dir / path.name)
+        except OSError:  # pragma: no cover - filesystem-dependent
+            with contextlib.suppress(OSError):
+                path.unlink()
+        self.integrity_failures += 1
+
+    def _read_verified(self, key: str) -> Optional[dict]:
+        """Parse + checksum-verify an entry; quarantine on any failure.
+
+        Returns the payload dict, or ``None`` for both plain misses
+        (no file) and quarantined entries - the caller recomputes either
+        way.
+        """
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None  # plain miss: nothing to quarantine
+        try:
+            body = json.loads(text)
+            payload = body["payload"]
+            stored = body["checksum"]
+        except (ValueError, TypeError, KeyError):
+            # Torn write, truncation, or a pre-integrity legacy entry
+            # (no checksum): unverifiable either way.
+            self._quarantine(key)
             return None
+        if payload_checksum(payload) != stored:
+            self._quarantine(key)
+            return None
+        with self._verified_lock:
+            self._verified.add(key)
+        return payload
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Cached result for a run key, or ``None`` on miss.
+
+        Corrupt or unverifiable entries are quarantined and read as
+        misses, so callers transparently recompute them.
+        """
+        payload = self._read_verified(key)
+        if payload is None:
+            return None
+        try:
+            return result_from_dict(payload)
+        except (ValueError, AttributeError, TypeError, KeyError):
+            # Checksum-valid but schema-drifted (an older writer):
+            # not corruption, but still unusable - set it aside.
+            self._quarantine(key)
+            with self._verified_lock:
+                self._verified.discard(key)
+            return None
+
+    def verify(self, key: str) -> bool:
+        """Whether a verified entry exists for ``key`` (cheap when cached).
+
+        Membership *must* verify, not just ``exists()``: a corrupt file
+        that counts as present would satisfy admission-time store checks
+        and strand its grid waiting on a result that can never be read.
+        """
+        with self._verified_lock:
+            if key in self._verified:
+                return True
+        return self._read_verified(key) is not None
 
     @contextlib.contextmanager
     def _publish_lock(self) -> Iterator[None]:
@@ -111,10 +197,12 @@ class ResultCache:
         races) are retried :data:`PUT_ATTEMPTS` times with backoff under
         the directory's publish lock before giving up.
         """
+        payload = result_to_dict(result)
         body = json.dumps({
             "key": key,
             "spec": spec.describe(),
-            "payload": result_to_dict(result),
+            "checksum": payload_checksum(payload),
+            "payload": payload,
         })
         for attempt in range(PUT_ATTEMPTS):
             tmp = None
@@ -126,6 +214,9 @@ class ResultCache:
                     with os.fdopen(fd, "w") as handle:
                         handle.write(body)
                     os.replace(tmp, self._path(key))
+                if not faults.corrupt("cache.put", key, self._path(key)):
+                    with self._verified_lock:
+                        self._verified.add(key)
                 return
             except OSError:
                 if tmp is not None:
@@ -137,4 +228,4 @@ class ResultCache:
                     time.sleep(_RETRY_DELAY * (2 ** attempt))
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        return self._path(key).exists() and self.verify(key)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, List, Tuple
 
 from repro.experiment.spec import RunSpec
+from repro.resilience import faults
 from repro.sim.results import RunResult
 from repro.sim.system import System
 from repro.workloads.suites import trace_factory
@@ -59,10 +60,12 @@ def iter_group(items: List[KeyedSpec],
     if len(items) == 1:
         key, spec = items[0]
         warmups = 1 if spec.config.warmup_instructions > 0 else 0
+        faults.trip("simulate", key)
         yield key, simulate_fn(spec), warmups, 0
         return
     snapshot = None
     for key, spec in items:
+        faults.trip("simulate", key)
         factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
         system = System(spec.config, factory)
         if snapshot is None:

@@ -1,0 +1,38 @@
+"""Fault tolerance primitives: retry policies and fault injection.
+
+This package gives the execution stack (the experiment service, its
+worker pool, the result cache, and the HTTP client) one shared
+vocabulary for surviving failures:
+
+* :mod:`repro.resilience.retry` - :class:`RetryPolicy`: bounded
+  attempts, exponential backoff with *deterministic* seeded jitter, and
+  transient-vs-permanent exception classification.  The worker pool
+  re-enqueues transient failures with backoff and quarantines jobs that
+  exhaust their budget; the :class:`~repro.service.client.ServiceClient`
+  uses the same policy for connection errors and 429 backpressure.
+* :mod:`repro.resilience.faults` - :class:`FaultPlan`: seeded,
+  reproducible fault injection threaded through ``simulate_group``, the
+  result cache, and the HTTP client.  A plan can raise on the nth run,
+  sleep past a timeout, kill a worker process, garble or truncate a
+  cache file, or drop an HTTP response - so chaos tests replay
+  identically under a fixed fault seed.
+
+See ``docs/resilience.md`` for semantics and the operational runbook.
+"""
+
+from repro.resilience.faults import FaultInjected, FaultPlan, FaultRule, \
+    active_plan, injected, install, reset, trip, uninstall
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "active_plan",
+    "injected",
+    "install",
+    "reset",
+    "trip",
+    "uninstall",
+]

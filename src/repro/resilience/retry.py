@@ -1,0 +1,91 @@
+"""Retry policy: bounded attempts, deterministic backoff, classification.
+
+A :class:`RetryPolicy` answers three questions for any failure:
+
+1. *Is this worth retrying?*  Exceptions are classified transient or
+   permanent.  Configuration and programming errors
+   (:class:`~repro.errors.ConfigError`, ``TypeError``, ``AssertionError``)
+   are permanent - a deterministic simulation will fail the same way
+   again - while I/O flakes (``OSError``, ``TimeoutError``,
+   ``ConnectionError``) and injected transient faults are retried.
+   Everything else defaults to transient: the attempt budget bounds the
+   cost of optimism, and the full error chain is recorded either way.
+2. *How many times?*  ``max_attempts`` counts total executions, not
+   re-executions: ``max_attempts=3`` means one initial run plus two
+   retries, after which the job is quarantined.
+3. *After how long?*  Exponential backoff
+   (``base_delay * multiplier**(attempt-1)``, capped at ``max_delay``)
+   plus **deterministic** seeded jitter: the jitter term is a hash of
+   ``(seed, key, attempt)``, so two workers retrying different jobs
+   decorrelate, yet the exact same schedule replays under a fixed seed -
+   which is what makes chaos tests reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple, Type
+
+from repro.errors import ConfigError
+from repro.resilience.faults import FaultInjected
+
+#: Exception types that will deterministically recur: never retried.
+PERMANENT_TYPES: Tuple[Type[BaseException], ...] = (
+    ConfigError,
+    TypeError,
+    AssertionError,
+    NotImplementedError,
+    MemoryError,
+    KeyboardInterrupt,
+    SystemExit,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed work is retried (or not).
+
+    Immutable and hashable so one instance can be shared by the worker
+    pool, the reaper, and the HTTP client without coordination.
+    """
+
+    #: Total execution budget per job (1 = never retry).
+    max_attempts: int = 3
+    #: First backoff delay, seconds.
+    base_delay: float = 0.05
+    #: Backoff ceiling, seconds.
+    max_delay: float = 5.0
+    #: Exponential growth factor per attempt.
+    multiplier: float = 2.0
+    #: Extra delay fraction added deterministically (0 = pure exponential).
+    jitter: float = 0.25
+    #: Jitter seed - fix it and the whole retry schedule replays.
+    seed: int = 0
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Classify an exception: ``True`` = worth retrying."""
+        if isinstance(exc, FaultInjected):
+            return exc.transient
+        if isinstance(exc, PERMANENT_TYPES):
+            return False
+        return True
+
+    def _unit_jitter(self, key: str, attempt: int) -> float:
+        """Deterministic uniform-ish value in [0, 1) from (seed, key, attempt)."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        raw = min(self.max_delay,
+                  self.base_delay * self.multiplier ** max(0, attempt - 1))
+        return raw * (1.0 + self.jitter * self._unit_jitter(key, attempt))
+
+    def should_retry(self, exc: BaseException, attempts: int) -> bool:
+        """Retry iff the failure is transient and budget remains.
+
+        ``attempts`` is how many executions have already happened.
+        """
+        return self.is_transient(exc) and attempts < self.max_attempts

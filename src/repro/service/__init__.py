@@ -26,7 +26,7 @@ from repro.service.api import API_VERSION, ServiceHTTPServer, make_server
 from repro.service.client import Backpressure, DEFAULT_URL, \
     ResultNotReady, ServiceClient, ServiceError
 from repro.service.queue import CANCELLED, DONE, FAILED, Job, JobQueue, \
-    PENDING, QueueFull, RUNNING, STATES
+    PENDING, QUARANTINED, QueueFull, RUNNING, STATES
 from repro.service.service import ExperimentService, ResultPending, \
     ServiceConfig, UnknownGrid
 from repro.service.store import ResultStore, StoreStats
@@ -43,6 +43,7 @@ __all__ = [
     "Job",
     "JobQueue",
     "PENDING",
+    "QUARANTINED",
     "QueueFull",
     "RUNNING",
     "ResultNotReady",

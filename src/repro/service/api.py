@@ -9,6 +9,10 @@ Endpoints (all JSON bodies)::
     GET  /v1/grids/<id>/result     finished ResultSet   -> 200 records
                                    (?metrics=a,b selects metric columns)
     POST /v1/grids/<id>/cancel     cancel a grid        -> 200 status
+    GET  /v1/jobs                  job listing          -> 200 jobs
+                                   (?state=quarantined filters by state)
+    POST /v1/jobs/requeue          requeue quarantined  -> 200 count
+                                   (body {"keys": [...]} limits scope)
 
 Error mapping: malformed payloads -> 400, unknown grids -> 404,
 results requested before completion -> 409 (body carries the status so
@@ -116,6 +120,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                            for m in chunk.split(",") if m]
                 self._send(200,
                            self.service.result(parts[2], metrics))
+            elif parts == ["v1", "jobs"]:
+                query = parse_qs(url.query)
+                state = (query.get("state") or [None])[0]
+                jobs = self.service.jobs(state)
+                self._send(200, {"jobs": jobs, "count": len(jobs)})
             else:
                 self._error(404, f"no such endpoint: {url.path}")
         except UnknownGrid as exc:
@@ -138,6 +147,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             elif len(parts) == 4 and parts[:2] == ["v1", "grids"] \
                     and parts[3] == "cancel":
                 self._send(200, self.service.cancel(parts[2]))
+            elif parts == ["v1", "jobs", "requeue"]:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self._read_body() if length > 0 else {}
+                keys = body.get("keys") if isinstance(body, dict) \
+                    else None
+                if keys is not None and not isinstance(keys, list):
+                    raise ConfigError("'keys' must be a list of job keys")
+                self._send(200, self.service.requeue_quarantined(
+                    [str(k) for k in keys] if keys is not None else None))
             else:
                 self._error(404, f"no such endpoint: {url.path}")
         except QueueFull as exc:

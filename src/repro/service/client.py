@@ -14,22 +14,36 @@ programmatic surface for any other consumer::
 Errors come back as :class:`ServiceError` carrying the HTTP status and
 decoded body; 429 rejections raise the :class:`Backpressure` subclass so
 callers can implement retry policies without string matching.
+
+The transport is resilient by default: connection failures (and injected
+``client.request`` faults) are retried ``retries`` times with the
+deterministic backoff of a :class:`~repro.resilience.RetryPolicy` before
+:class:`ServiceError` (status 0) surfaces.  429 backpressure is *not*
+retried unless ``retry_backpressure=True`` - batch submitters opt in and
+the client then honours the server's ``Retry-After`` header; interactive
+callers keep seeing :class:`Backpressure` immediately.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, \
+    Union
 from urllib.error import HTTPError, URLError
 from urllib.parse import quote
 from urllib.request import Request, urlopen
 
 from repro.experiment.serialize import experiment_to_dict
 from repro.experiment.spec import ExperimentSpec
+from repro.resilience import FaultInjected, RetryPolicy, faults
 
 #: Default service endpoint (matches ``repro serve``'s default port).
 DEFAULT_URL = "http://127.0.0.1:8023"
+
+#: Poll-interval growth factor / ceiling for :meth:`ServiceClient.wait`.
+_POLL_GROWTH = 1.5
+_POLL_MAX = 2.0
 
 
 class ServiceError(RuntimeError):
@@ -46,7 +60,16 @@ class ServiceError(RuntimeError):
 
 
 class Backpressure(ServiceError):
-    """The service rejected a submission (429); retry later."""
+    """The service rejected a submission (429); retry later.
+
+    ``retry_after`` carries the server's ``Retry-After`` header in
+    seconds (``None`` when absent).
+    """
+
+    def __init__(self, status: int, payload: Mapping[str, Any],
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
 
 
 class ResultNotReady(ServiceError):
@@ -57,16 +80,24 @@ class ServiceClient:
     """Minimal JSON-over-HTTP client; one instance per endpoint."""
 
     def __init__(self, base_url: str = DEFAULT_URL,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 retries: int = 2,
+                 retry_backpressure: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backpressure = retry_backpressure
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy(max_attempts=self.retries + 1)
 
     # -- transport -----------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 body: Optional[Mapping[str, Any]] = None
-                 ) -> Dict[str, Any]:
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Mapping[str, Any]]
+                      ) -> Dict[str, Any]:
         url = f"{self.base_url}{path}"
+        faults.trip("client.request", path)
         data = json.dumps(body).encode() if body is not None else None
         request = Request(url, data=data, method=method, headers={
             "Content-Type": "application/json",
@@ -81,7 +112,13 @@ class ServiceClient:
             except ValueError:
                 payload = {"error": exc.reason}
             if exc.code == 429:
-                raise Backpressure(exc.code, payload) from None
+                header = exc.headers.get("Retry-After")
+                try:
+                    retry_after = float(header) if header else None
+                except ValueError:
+                    retry_after = None
+                raise Backpressure(exc.code, payload,
+                                   retry_after=retry_after) from None
             if exc.code == 409:
                 raise ResultNotReady(exc.code, payload) from None
             raise ServiceError(exc.code, payload) from None
@@ -89,6 +126,42 @@ class ServiceClient:
             raise ServiceError(
                 0, {"error": f"cannot reach {url}: {exc.reason}"}) \
                 from None
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        """One logical request = up to ``retries + 1`` attempts.
+
+        Retried: connection-level failures (``ServiceError`` with
+        status 0, which includes dropped responses injected by a fault
+        plan) and - only when ``retry_backpressure`` is set - 429s,
+        sleeping the server's ``Retry-After`` if it sent one.  Real
+        HTTP errors (4xx/5xx) mean the request *arrived*; they are
+        never retried.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request_once(method, path, body)
+            except FaultInjected as exc:
+                if not exc.transient or attempt > self.retries:
+                    raise ServiceError(
+                        0, {"error": f"cannot reach "
+                                     f"{self.base_url}{path}: {exc}"}) \
+                        from None
+                time.sleep(self.retry_policy.delay(attempt, path))
+            except Backpressure as exc:
+                if not self.retry_backpressure or attempt > self.retries:
+                    raise
+                delay = self.retry_policy.delay(attempt, path)
+                if exc.retry_after is not None:
+                    delay = max(delay, exc.retry_after)
+                time.sleep(delay)
+            except ServiceError as exc:
+                if exc.status != 0 or attempt > self.retries:
+                    raise
+                time.sleep(self.retry_policy.delay(attempt, path))
 
     # -- endpoints -----------------------------------------------------
 
@@ -126,17 +199,52 @@ class ServiceClient:
         return self._request(
             "POST", f"/v1/grids/{quote(grid_id)}/cancel", {})
 
+    def jobs(self, state: Optional[str] = None) -> Dict[str, Any]:
+        """Job listing, optionally filtered (e.g. ``state="quarantined"``)."""
+        path = "/v1/jobs"
+        if state:
+            path += f"?state={quote(state)}"
+        return self._request("GET", path)
+
+    def requeue_quarantined(self,
+                            keys: Optional[Sequence[str]] = None
+                            ) -> Dict[str, Any]:
+        """Put quarantined jobs back in play (all of them by default)."""
+        body: Dict[str, Any] = {}
+        if keys is not None:
+            body["keys"] = list(keys)
+        return self._request("POST", "/v1/jobs/requeue", body)
+
     def wait(self, grid_id: str, timeout: float = 600.0,
-             poll: float = 0.2) -> Dict[str, Any]:
+             poll: float = 0.2, poll_max: float = _POLL_MAX,
+             on_progress: Optional[
+                 Callable[[Dict[str, Any]], None]] = None
+             ) -> Dict[str, Any]:
         """Poll until the grid reaches a terminal state.
 
-        Returns the final status; raises :class:`ServiceError` on
+        Returns the final status for ``done`` *and* ``degraded`` grids
+        (a degraded grid has partial results worth fetching; check
+        ``status["quarantined"]``); raises :class:`ServiceError` on
         timeout or when the grid failed/was cancelled.
+
+        The poll interval backs off exponentially (x1.5, capped at
+        ``poll_max``) while nothing changes, and snaps back to ``poll``
+        whenever progress advances - long waits stop hammering the
+        server without going blind.  Every status observed carries
+        ``status["progress"] = {"completed": ..., "total": ...}`` and is
+        passed to ``on_progress`` (when given), so callers can render
+        partial progress mid-wait.
         """
         deadline = time.time() + timeout
+        interval = poll
+        last_done = -1
         while True:
             status = self.status(grid_id)
-            if status["state"] == "done":
+            status["progress"] = {"completed": status.get("done", 0),
+                                  "total": status.get("unique_runs", 0)}
+            if on_progress is not None:
+                on_progress(status)
+            if status["state"] in ("done", "degraded"):
                 return status
             if status["state"] in ("failed", "cancelled"):
                 raise ServiceError(500, dict(
@@ -148,4 +256,10 @@ class ServiceClient:
                           f"for grid {grid_id} "
                           f"({status['done']}/{status['unique_runs']} "
                           f"runs done)"))
-            time.sleep(poll)
+            if status.get("done", 0) > last_done:
+                last_done = status.get("done", 0)
+                interval = poll  # progress: stay responsive
+            else:
+                interval = min(poll_max, interval * _POLL_GROWTH)
+            time.sleep(min(interval, max(0.0, deadline - time.time())))
+        # not reached

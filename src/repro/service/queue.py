@@ -11,19 +11,36 @@ Every state transition is persisted as one JSON file per job
 (atomic write-and-rename), so a killed service resumes in place: on
 reload, jobs found ``running`` are demoted back to ``pending`` - their
 worker died with the process - and everything finished stays finished.
+Torn or truncated job files (a crash mid-write on a non-atomic
+filesystem) are moved to a ``quarantine/`` sidecar directory with a
+warning instead of refusing to start; the owning grid re-admits the
+lost run at reconciliation.
+
+Failure handling is attempt-aware: a leased job carries an ``attempts``
+count and a *lease epoch* so stale workers (reaped after a timeout)
+cannot complete or fail a job that was already handed to someone else.
+Transient failures re-enqueue with a ``not_before`` backoff timestamp;
+jobs that exhaust their retry budget move to the terminal
+``quarantined`` state (a dead-letter, carrying the full error chain)
+instead of poisoning their grid - see
+:meth:`retry` / :meth:`quarantine` / :meth:`requeue_quarantined`.
 
 Scheduling is fair across tenants: :meth:`JobQueue.lease` picks the next
 tenant by smooth weighted round-robin, then hands the worker that
 tenant's best job *plus* every queued job sharing its warm group (see
 :func:`~repro.experiment.spec.warm_group_key`), so a shard still warms
-once per group exactly like an in-process Session.  Backpressure is a
-bounded queue: admitting new jobs past the per-tenant or global pending
-limit raises :class:`QueueFull`, which the HTTP layer maps to a 429.
+once per group exactly like an in-process Session.  Jobs marked
+``solo`` (retries isolated after a group crash) always lease alone.
+Backpressure is a bounded queue: admitting new jobs past the per-tenant
+or global pending limit raises :class:`QueueFull`, which the HTTP layer
+maps to a 429.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -31,17 +48,29 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.experiment.serialize import spec_from_dict
 from repro.experiment.spec import RunSpec, warm_group_key
 
+logger = logging.getLogger("repro.service")
+
 # Job lifecycle states.
 PENDING = "pending"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+#: Dead-letter: the job exhausted its retry budget (or failed
+#: permanently) and sits aside with its error chain until an operator
+#: requeues it - its grid keeps executing every sibling.
+QUARANTINED = "quarantined"
 
-STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED, QUARANTINED)
+
+#: States a re-admitting grid resurrects back to PENDING.
+_RESURRECTABLE = (FAILED, CANCELLED, QUARANTINED)
 
 #: On-disk job record format; unknown versions are skipped on load.
 JOB_FORMAT = 1
+
+#: Most recent error-chain entries kept per job (bounds file growth).
+MAX_ERROR_CHAIN = 8
 
 
 class QueueFull(Exception):
@@ -73,6 +102,15 @@ class Job:
     seq: int = 0
     attempts: int = 0
     error: str = ""
+    #: One entry per failed attempt, oldest first (capped).
+    error_chain: List[str] = field(default_factory=list)
+    #: Retries isolated after a group crash lease alone.
+    solo: bool = False
+    #: Earliest wall-clock time this job may lease again (backoff).
+    not_before: float = 0.0
+    #: Lease epoch of the worker currently holding the job.  Transient:
+    #: not persisted - a reloaded queue demotes RUNNING jobs anyway.
+    lease: int = field(default=0, repr=False, compare=False)
     #: Warm-checkpoint-sharing key (None = cannot share).
     group: Optional[str] = field(default=None, repr=False)
 
@@ -91,6 +129,9 @@ class Job:
             "seq": self.seq,
             "attempts": self.attempts,
             "error": self.error,
+            "error_chain": list(self.error_chain),
+            "solo": self.solo,
+            "not_before": self.not_before,
             "spec": self.spec.describe(),
         }
 
@@ -108,7 +149,16 @@ class Job:
             seq=int(data.get("seq", 0)),
             attempts=int(data.get("attempts", 0)),
             error=str(data.get("error", "")),
+            error_chain=[str(e) for e in data.get("error_chain", [])],
+            solo=bool(data.get("solo", False)),
+            not_before=float(data.get("not_before", 0.0)),
         )
+
+    def record_error(self, error: str) -> None:
+        """Append to the bounded error chain and update the latest error."""
+        self.error = error
+        self.error_chain.append(f"attempt {self.attempts}: {error}")
+        del self.error_chain[:-MAX_ERROR_CHAIN]
 
 
 class JobQueue:
@@ -126,9 +176,12 @@ class JobQueue:
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._seq = 0
+        self._lease_seq = 0
         self._wrr_credit: Dict[str, float] = {}
         #: Jobs found mid-run at load time and requeued (resume evidence).
         self.resumed = 0
+        #: Torn/corrupt job files moved aside at load time.
+        self.quarantined_files = 0
         self._load()
 
     # -- persistence ---------------------------------------------------
@@ -141,6 +194,26 @@ class JobQueue:
 
         atomic_write_json(self._path(job.key), job.to_dict())
 
+    def _quarantine_file(self, path: Path, reason: str) -> None:
+        """Move an unreadable job file aside so the service still starts.
+
+        The run itself is not lost: grid reconciliation rebuilds any job
+        that is neither stored nor queued from the grid record's specs.
+        """
+        target_dir = self.directory / "quarantine"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(target_dir / path.name)
+        except OSError:  # pragma: no cover - filesystem-dependent
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined_files += 1
+        logger.warning(
+            "quarantined unreadable job file %s (%s); the owning grid "
+            "re-admits the run at reconciliation", path.name, reason)
+
     def _load(self) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         from repro.service.util import read_json
@@ -148,12 +221,14 @@ class JobQueue:
         for path in sorted(self.directory.glob("*.json")):
             data = read_json(path)
             if data is None:
+                # Torn mid-write (crash) or truncated: never fatal.
+                self._quarantine_file(path, "not valid JSON")
                 continue
             try:
                 job = Job.from_dict(data)
-            except Exception:
-                # Corrupt or stale-format job files are skipped, not
-                # fatal - the owning grid re-admits the run on reload.
+            except Exception as exc:
+                self._quarantine_file(
+                    path, f"{type(exc).__name__}: {exc}")
                 continue
             if job.state == RUNNING:
                 # The worker that held this lease died with the previous
@@ -227,11 +302,14 @@ class JobQueue:
                 if priority > job.priority:
                     job.priority = priority
                     changed = True
-                if job.state in (FAILED, CANCELLED):
-                    # A fresh grid wants a job that previously failed or
-                    # was cancelled: give it another chance.
+                if job.state in _RESURRECTABLE:
+                    # A fresh grid wants a job that previously failed,
+                    # was cancelled, or sat in quarantine: give it a
+                    # whole new attempt budget.
                     job.state = PENDING
                     job.error = ""
+                    job.attempts = 0
+                    job.not_before = 0.0
                     changed = True
                 if changed:
                     self._persist(job)
@@ -272,59 +350,162 @@ class JobQueue:
         pending job; if it belongs to a warm-sharing group, up to
         ``max_jobs - 1`` queued groupmates (any tenant - they share
         identical warm state by construction) ride along so the shard
-        warms once for all of them.  Leased jobs transition to
-        ``running`` durably before they are returned.
+        warms once for all of them.  Jobs in retry backoff
+        (``not_before`` in the future) are invisible until their delay
+        elapses, and ``solo`` jobs always lease alone.  Leased jobs
+        transition to ``running`` durably - stamped with a fresh lease
+        epoch - before they are returned.
         """
+        now = time.time()
         with self._lock:
-            pending = [j for j in self._jobs.values()
-                       if j.state == PENDING]
-            if not pending:
+            ready = [j for j in self._jobs.values()
+                     if j.state == PENDING and j.not_before <= now]
+            if not ready:
                 return []
-            tenants = list({j.tenant for j in pending})
+            tenants = list({j.tenant for j in ready})
             tenant = tenants[0] if len(tenants) == 1 \
                 else self._pick_tenant(tenants)
-            mine = sorted((j for j in pending if j.tenant == tenant),
+            mine = sorted((j for j in ready if j.tenant == tenant),
                           key=lambda j: (-j.priority, j.seq))
             head = mine[0]
             group = [head]
-            if head.group is not None:
-                mates = [j for j in pending
-                         if j is not head and j.group == head.group]
+            if head.group is not None and not head.solo:
+                mates = [j for j in ready
+                         if j is not head and not j.solo
+                         and j.group == head.group]
                 mates.sort(key=lambda j: (-j.priority, j.seq))
                 group.extend(mates[:max(0, max_jobs - 1)])
+            self._lease_seq += 1
             for job in group:
                 job.state = RUNNING
                 job.attempts += 1
+                job.lease = self._lease_seq
                 self._persist(job)
             return group
 
     # -- completion ----------------------------------------------------
 
-    def _transition(self, key: str, state: str, error: str = "") -> None:
+    def _holder(self, key: str, lease: Optional[int]) -> Optional[Job]:
+        """The job, unless ``lease`` is stale (a reaped worker calling)."""
+        job = self._jobs.get(key)
+        if job is None:
+            return None
+        if lease is not None and job.lease != lease:
+            return None
+        return job
+
+    def complete(self, key: str, lease: Optional[int] = None) -> None:
+        """Mark a leased job finished (its result is in the store)."""
         with self._lock:
-            job = self._jobs.get(key)
+            job = self._holder(key, lease)
             if job is None:
                 return
-            job.state = state
-            job.error = error
+            job.state = DONE
+            job.error = ""
             self._persist(job)
 
-    def complete(self, key: str) -> None:
-        """Mark a leased job finished (its result is in the store)."""
-        self._transition(key, DONE)
-
-    def fail(self, key: str, error: str) -> None:
+    def fail(self, key: str, error: str,
+             lease: Optional[int] = None) -> None:
         """Mark a leased job failed, keeping the error for status calls."""
-        self._transition(key, FAILED, error)
+        with self._lock:
+            job = self._holder(key, lease)
+            if job is None:
+                return
+            job.state = FAILED
+            job.record_error(error)
+            self._persist(job)
 
-    def release(self, keys: List[str]) -> None:
-        """Return leased-but-unfinished jobs to the queue (shutdown path)."""
+    def retry(self, key: str, error: str, delay: float = 0.0,
+              solo: bool = True, lease: Optional[int] = None) -> None:
+        """Re-enqueue a failed/timed-out job after ``delay`` seconds.
+
+        The attempt that just failed stays counted (attempts increment
+        at lease time); ``solo=True`` (the default) keeps the retry out
+        of warm-group coalescing so one poisonous config can never take
+        down its siblings twice.
+        """
+        with self._lock:
+            job = self._holder(key, lease)
+            if job is None or job.state != RUNNING:
+                return
+            job.state = PENDING
+            job.solo = solo
+            job.not_before = time.time() + max(0.0, delay)
+            job.record_error(error)
+            self._persist(job)
+
+    def quarantine(self, key: str, error: str,
+                   lease: Optional[int] = None) -> None:
+        """Dead-letter a job: terminal, with the full error chain kept.
+
+        Quarantined jobs never block their grid's siblings and are
+        excluded from the pending bounds; ``requeue_quarantined`` (or a
+        fresh grid attaching) puts them back in play.
+        """
+        with self._lock:
+            job = self._holder(key, lease)
+            if job is None:
+                return
+            job.state = QUARANTINED
+            job.record_error(error)
+            self._persist(job)
+
+    def release(self, keys: List[str], lease: Optional[int] = None,
+                refund_attempt: bool = False) -> None:
+        """Return leased-but-unfinished jobs to the queue.
+
+        Used on shutdown and when an innocent in-flight group is swept
+        up by a worker-pool recycle; ``refund_attempt`` undoes the lease
+        charge so a job is never quarantined for its neighbours' sins.
+        """
         with self._lock:
             for key in keys:
-                job = self._jobs.get(key)
+                job = self._holder(key, lease)
                 if job is not None and job.state == RUNNING:
                     job.state = PENDING
+                    if refund_attempt:
+                        job.attempts = max(0, job.attempts - 1)
                     self._persist(job)
+
+    def resurrect(self, key: str) -> bool:
+        """Force a terminal job back to PENDING with a fresh budget.
+
+        Used when a job's *stored result* turns out to be lost or
+        corrupt after the job already completed: the DONE state no
+        longer reflects a usable artifact, so the run goes again.
+        """
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None or job.state in (PENDING, RUNNING):
+                return False
+            job.state = PENDING
+            job.attempts = 0
+            job.not_before = 0.0
+            job.error = ""
+            self._persist(job)
+            return True
+
+    def requeue_quarantined(self,
+                            keys: Optional[List[str]] = None) -> int:
+        """Drain the dead-letter queue back to PENDING (fresh budget).
+
+        ``keys=None`` requeues every quarantined job; otherwise only the
+        named ones.  Returns how many jobs were requeued.
+        """
+        requeued = 0
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state != QUARANTINED:
+                    continue
+                if keys is not None and job.key not in keys:
+                    continue
+                job.state = PENDING
+                job.attempts = 0
+                job.not_before = 0.0
+                job.error = ""
+                self._persist(job)
+                requeued += 1
+        return requeued
 
     def detach_grid(self, grid_id: str) -> int:
         """Drop a cancelled grid's interest; orphaned pending jobs die.
@@ -347,6 +528,32 @@ class JobQueue:
 
     # -- introspection -------------------------------------------------
 
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Lightweight job listing (no specs), optionally one state.
+
+        The shape the ``/v1/jobs`` endpoint and ``repro jobs`` render:
+        key, tenant, state, priority, attempts, latest error, error
+        chain, interested grids, and retry bookkeeping.
+        """
+        with self._lock:
+            out = []
+            for job in sorted(self._jobs.values(), key=lambda j: j.seq):
+                if state is not None and job.state != state:
+                    continue
+                out.append({
+                    "key": job.key,
+                    "tenant": job.tenant,
+                    "state": job.state,
+                    "priority": job.priority,
+                    "attempts": job.attempts,
+                    "error": job.error,
+                    "error_chain": list(job.error_chain),
+                    "grids": list(job.grids),
+                    "solo": job.solo,
+                    "not_before": job.not_before,
+                })
+            return out
+
     def counts(self) -> Dict[str, int]:
         """Job totals by state (all states present, zeros included)."""
         with self._lock:
@@ -366,7 +573,10 @@ class JobQueue:
             return out
 
     def outstanding(self) -> int:
-        """Jobs still pending or running (the drain condition)."""
+        """Jobs still pending or running (the drain condition).
+
+        Quarantined jobs are terminal: they never hold ``drain`` open.
+        """
         with self._lock:
             return sum(1 for j in self._jobs.values()
                        if j.state in (PENDING, RUNNING))

@@ -41,8 +41,9 @@ from repro.experiment.resultset import ResultSet, from_points
 from repro.experiment.serialize import experiment_from_dict, \
     spec_from_dict
 from repro.experiment.spec import ExperimentSpec, GridPoint, RunPlan
+from repro.resilience.retry import RetryPolicy
 from repro.service.queue import CANCELLED, DONE, FAILED, JobQueue, \
-    PENDING, QueueFull, RUNNING
+    PENDING, QUARANTINED, QueueFull, RUNNING
 from repro.service.store import ResultStore
 from repro.service.util import atomic_write_json, read_json
 from repro.service.workers import WorkerPool
@@ -87,6 +88,11 @@ class ServiceConfig:
     tenant_weights: Dict[str, float] = field(default_factory=dict)
     use_processes: bool = True
     poll_interval: float = 0.05
+    #: How failed runs are retried and when they are quarantined.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Wall-clock seconds without progress before a group is reaped
+    #: and its shard respawned (``None`` disables the reaper).
+    job_timeout: Optional[float] = None
 
 
 class ExperimentService:
@@ -105,7 +111,9 @@ class ExperimentService:
             self.queue, self.store, shards=config.shards,
             max_group=config.max_group,
             use_processes=config.use_processes,
-            poll_interval=config.poll_interval)
+            poll_interval=config.poll_interval,
+            retry=config.retry,
+            job_timeout=config.job_timeout)
         self._grids_dir = state_dir / "grids"
         self._grids: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.RLock()
@@ -297,25 +305,36 @@ class ExperimentService:
         return states
 
     def status(self, grid_id: str) -> Dict[str, Any]:
-        """Progress snapshot for one grid (the GET /v1/grids/<id> body)."""
+        """Progress snapshot for one grid (the GET /v1/grids/<id> body).
+
+        A grid whose every run is terminal but has quarantined members
+        reports ``degraded``: it is finished *enough* to hand out
+        partial results, and it never fails early while healthy
+        siblings are still executing.
+        """
         with self._lock:
             record = self._record(grid_id)
             states = self._job_states(record)
         tally = {PENDING: 0, RUNNING: 0, DONE: 0, FAILED: 0,
-                 CANCELLED: 0}
+                 CANCELLED: 0, QUARANTINED: 0}
         errors = []
         for key, state in states.items():
             tally[state] = tally.get(state, 0) + 1
-            if state == FAILED:
+            if state in (FAILED, QUARANTINED):
                 job = self.queue.get(key)
                 if job is not None and job.error:
-                    errors.append({"key": key, "error": job.error})
+                    errors.append({"key": key, "state": state,
+                                   "error": job.error,
+                                   "attempts": job.attempts})
+        terminal = tally[DONE] + tally[CANCELLED] + tally[QUARANTINED]
         if record["state"] == GRID_CANCELLED:
             state = GRID_CANCELLED
         elif tally[FAILED]:
             state = "failed"
         elif tally[DONE] == len(states):
             state = "done"
+        elif terminal == len(states) and tally[QUARANTINED]:
+            state = "degraded"
         elif tally[RUNNING]:
             state = "running"
         else:
@@ -332,29 +351,58 @@ class ExperimentService:
             "pending": tally[PENDING] + tally[CANCELLED],
             "running": tally[RUNNING],
             "failed": tally[FAILED],
+            "quarantined": tally[QUARANTINED],
             "errors": errors[:8],
             "admission": dict(record["admission"]),
         }
 
     def result_set(self, grid_id: str) -> ResultSet:
-        """Assemble the grid's :class:`ResultSet` from the store."""
+        """Assemble the grid's :class:`ResultSet` from the store.
+
+        A ``degraded`` grid yields a *partial* set: quarantined points
+        are simply absent.  A ``done`` grid whose store entry turns out
+        to be corrupt (the read quarantines it) transparently re-admits
+        the lost run and reports :class:`ResultPending` - the caller
+        retries and gets a freshly recomputed result, never garbage.
+        """
         status = self.status(grid_id)
-        if status["state"] != "done":
+        if status["state"] not in ("done", "degraded"):
             raise ResultPending(status)
         record = self._record(grid_id)
         points: List[GridPoint] = []
         results = {}
+        lost: List[str] = []
         for point in record["points"]:
             spec = spec_from_dict(
                 dict(record["specs"][point["key"]],
                      label=point["label"]))
-            points.append(GridPoint(coords=point["coords"], spec=spec))
             if point["key"] not in results:
                 result = self.store.get(point["key"])
                 if result is None:
-                    raise ResultPending(status)
+                    job = self.queue.get(point["key"])
+                    if job is not None and job.state == QUARANTINED:
+                        continue  # degraded: this point sat out
+                    lost.append(point["key"])
+                    continue
                 results[point["key"]] = result
+            points.append(GridPoint(coords=point["coords"], spec=spec))
+        if lost:
+            self._readmit(record, lost)
+            raise ResultPending(self.status(grid_id))
         return from_points(points, results, name=record["name"])
+
+    def _readmit(self, record: Mapping[str, Any],
+                 keys: Sequence[str]) -> None:
+        """Recompute runs whose stored results vanished or failed
+        verification (the store already quarantined the bad files)."""
+        for key in keys:
+            if not self.queue.resurrect(key):
+                spec = spec_from_dict(record["specs"][key])
+                self.queue.admit([spec], [], tenant=record["tenant"],
+                                 priority=record["priority"],
+                                 grid_id=record["grid_id"])
+            self.counters["jobs_readmitted"] += 1
+        self.workers.kick()
 
     def result(self, grid_id: str,
                metrics: Sequence[str] = ()) -> Dict[str, Any]:
@@ -366,10 +414,13 @@ class ExperimentService:
         """
         rs = self.result_set(grid_id)
         record = self._record(grid_id)
+        status = self.status(grid_id)
         return {
             "grid_id": grid_id,
             "name": record["name"],
             "tenant": record["tenant"],
+            "state": status["state"],
+            "quarantined": status["quarantined"],
             "records": rs.to_records(metrics),
             "stats": dict(record["admission"]),
         }
@@ -383,6 +434,25 @@ class ExperimentService:
                 self._persist_grid(record)
                 self.queue.detach_grid(grid_id)
         return self.status(grid_id)
+
+    # -- jobs / quarantine ---------------------------------------------
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Job listing (``GET /v1/jobs``), optionally filtered by state."""
+        return self.queue.jobs(state)
+
+    def requeue_quarantined(self,
+                            keys: Optional[List[str]] = None
+                            ) -> Dict[str, Any]:
+        """Drain the dead-letter queue back into execution.
+
+        The operational exit from quarantine: jobs go back to PENDING
+        with a fresh attempt budget and the workers are kicked.
+        """
+        requeued = self.queue.requeue_quarantined(keys)
+        if requeued:
+            self.workers.kick()
+        return {"requeued": requeued}
 
     # -- introspection -------------------------------------------------
 

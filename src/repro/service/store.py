@@ -69,8 +69,17 @@ class ResultStore:
             self.stats.puts += 1
 
     def __contains__(self, key: str) -> bool:
+        """Verified membership - a corrupt entry does not count as present.
+
+        The underlying cache checksums entries on membership checks, so
+        admission-time store hits can never be satisfied by a garbled
+        file (which would strand the grid waiting on an unreadable
+        result); such entries are quarantined and recomputed instead.
+        """
         return key in self.cache
 
     def stats_dict(self) -> Dict[str, Any]:
         with self._lock:
-            return asdict(self.stats)
+            data = asdict(self.stats)
+        data["integrity_failures"] = self.cache.integrity_failures
+        return data

@@ -32,6 +32,16 @@ def _isolated_result_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plans():
+    """Never let one test's fault-injection plan infect the next."""
+    from repro.resilience import faults
+
+    faults.reset()
+    yield
+    faults.reset()
+
+
 @pytest.fixture
 def tiny():
     return tiny_config()
