@@ -31,9 +31,11 @@ import json
 import shutil
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Callable, Dict, List
 
+from repro import telemetry
 from repro.config.system import CacheConfig, DramConfig, SystemConfig
 from repro.experiment import ExperimentSpec
 from repro.resilience import FaultPlan, FaultRule, RetryPolicy, injected
@@ -173,17 +175,28 @@ def main(argv=None) -> int:
                         help="write the scenario report as JSON")
     args = parser.parse_args(argv)
 
+    # Telemetry on for the whole sweep: the scenarios execute inline
+    # (use_processes=False), so spans land in this process's tracer and
+    # each scenario entry can carry its wall time and phase profile.
+    # The report's top-level keys stay exactly the scenario names.
+    telemetry.enable()
+    tracer = telemetry.get_tracer()
     report, failed = {}, []
     for scenario in SCENARIOS:
         name = scenario.__name__.replace("scenario_", "").replace(
             "_", "-")
         root = Path(tempfile.mkdtemp(prefix=f"chaos-{name}-"))
+        tracer.reset()
+        start = time.perf_counter()
         try:
             out = scenario(root)
         except AssertionError as exc:
             out = {"error": str(exc)}
         finally:
             shutil.rmtree(root, ignore_errors=True)
+        out["wall_seconds"] = round(time.perf_counter() - start, 4)
+        out["phases"] = {phase: round(seconds, 4) for phase, seconds
+                         in sorted(tracer.phase_totals().items())}
         report[name] = out
         # The gate: every job terminal as DONE, zero dead letters.
         ok = (out.get("state") == "done"

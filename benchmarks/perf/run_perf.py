@@ -26,6 +26,9 @@ are measured in the same invocation).  ``--check-sampling R`` gates the
 ``--max-sampling-error PCT`` its grid-averaged relative error on mean
 IPC and write BLP (the error figures are deterministic in the
 simulation, so this gate is host-independent; see ``docs/sampling.md``).
+``--check-telemetry PCT`` gates the telemetry layer's enabled-vs-disabled
+overhead on the write-stream scenario (both legs measured in the same
+invocation; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -88,11 +91,19 @@ def main(argv=None) -> int:
                         help="fail if the sampled estimates' grid-averaged "
                              "relative error on mean IPC or write BLP "
                              "exceeds PCT percent")
+    parser.add_argument("--skip-telemetry-scenario", action="store_true",
+                        dest="skip_telemetry",
+                        help="skip the telemetry-overhead measurement")
+    parser.add_argument("--check-telemetry", type=float, metavar="PCT",
+                        dest="check_telemetry", default=None,
+                        help="fail if enabling telemetry costs more than "
+                             "PCT percent wall time on the write-stream "
+                             "scenario")
     args = parser.parse_args(argv)
 
     from repro.perf import SAMPLING_SCENARIO, SCENARIOS, WARMUP_SCENARIO, \
         bench_report, measure_sampling_scenario, measure_scenario, \
-        measure_warmup_scenario
+        measure_telemetry_overhead, measure_warmup_scenario
 
     mode = "quick" if args.quick else "full"
     entries = []
@@ -136,9 +147,26 @@ def main(argv=None) -> int:
               f"write BLP err "
               f"{sampling_entry['write_blp_grid_error_pct']}%)")
 
+    telemetry_entry = None
+    if not args.skip_telemetry:
+        print(f"[telemetry_overhead] write_stream, telemetry disabled "
+              f"vs enabled ({mode}) ...", flush=True)
+        # At least 5 disabled/enabled pairs regardless of --repeats:
+        # the gate compares two measurements of the same simulation, so
+        # squeezing host noise out of the paired median matters more
+        # than it does for the baseline-relative throughput numbers.
+        telemetry_entry = measure_telemetry_overhead(
+            quick=args.quick, repeats=max(5, args.repeats))
+        print(f"  disabled {telemetry_entry['disabled_seconds']}s vs "
+              f"enabled {telemetry_entry['enabled_seconds']}s "
+              f"-> {telemetry_entry['overhead_pct']}% overhead; phases: "
+              + ", ".join(f"{phase}={seconds}s" for phase, seconds
+                          in telemetry_entry["phase_breakdown"].items()))
+
     report = bench_report(entries, mode=mode, repeats=args.repeats,
                           baseline=_load_baseline(), warmup=warmup_entry,
-                          sampling=sampling_entry)
+                          sampling=sampling_entry,
+                          telemetry=telemetry_entry)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     gm = report["geomean_events_per_sec"]
     print(f"geomean: {gm:,} events/sec -> {args.output}")
@@ -189,6 +217,17 @@ def main(argv=None) -> int:
                   f"{args.max_sampling_error}%", file=sys.stderr)
             return 1
         print(f"PASS: sampling error <= {args.max_sampling_error}%")
+    if args.check_telemetry is not None:
+        if telemetry_entry is None:
+            print("--check-telemetry requested but the telemetry "
+                  "scenario was skipped", file=sys.stderr)
+            return 2
+        if telemetry_entry["overhead_pct"] > args.check_telemetry:
+            print(f"FAIL: telemetry overhead "
+                  f"{telemetry_entry['overhead_pct']}% > allowed "
+                  f"{args.check_telemetry}%", file=sys.stderr)
+            return 1
+        print(f"PASS: telemetry overhead <= {args.check_telemetry}%")
     return 0
 
 

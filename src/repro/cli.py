@@ -13,7 +13,11 @@ Commands
 ``serve``          run the long-running experiment service (HTTP API)
 ``submit``         submit a grid to a running service and fetch results
 ``jobs``           inspect a service's job table (``--quarantined`` for
-                   the dead-letter queue; ``--requeue`` to drain it)
+                   the dead-letter queue; ``--requeue`` to drain it;
+                   ``--watch`` to poll it live)
+``trace``          run one workload with telemetry enabled and write a
+                   Chrome trace-event JSON (load in Perfetto)
+``top``            live service dashboard polling ``/v1/stats``
 
 Every simulating command runs through the declarative experiment layer
 (:mod:`repro.experiment`): duplicate grid points simulate once, finished
@@ -46,10 +50,12 @@ import dataclasses
 import json
 import os
 import sys
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
+from repro import telemetry
 from repro.analysis.report import characterization_report, \
     comparison_report, sampling_note
 from repro.analysis.tables import format_table
@@ -62,9 +68,12 @@ from repro.experiment.cache import default_cache_dir
 from repro.experiment.resultset import RELATIVE_METRICS, valid_metric
 from repro.experiment.spec import BASELINE, INHERIT, policy_arg
 from repro.sampling import SamplingConfig
+from repro.telemetry import configure_logging, get_logger
 from repro.workloads.suites import ALL_WORKLOADS
 
 _POLICY_CHOICES = ["baseline", "bard-e", "bard-c", "bard-h", "eager", "vwq"]
+
+_log = get_logger("cli")
 
 
 def _policy_arg(name: str) -> Optional[str]:
@@ -152,7 +161,9 @@ def _session(args) -> Session:
 
 
 def _progress(done: int, total: int, spec: RunSpec) -> None:
-    print(f"[{done}/{total}] {spec.label}", file=sys.stderr)
+    _log.info("[%d/%d] %s", done, total, spec.label,
+              extra={"event": "run.progress", "completed": done,
+                     "total": total, "label": spec.label})
 
 
 def _progress_fn(args):
@@ -226,6 +237,18 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         help="adaptive sampling: keep adding intervals "
                              "until the mean-IPC CI half-width is within "
                              "PCT%% of the mean")
+
+
+def _add_logging_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--log-level", dest="log_level",
+                        choices=["debug", "info", "warning", "error"],
+                        default="info",
+                        help="verbosity of the repro.* loggers "
+                             "(default: info)")
+    parser.add_argument("--log-json", dest="log_json",
+                        action="store_true",
+                        help="emit JSON-lines log records instead of "
+                             "human-readable lines")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -436,19 +459,28 @@ def _cmd_serve(args) -> int:
     )
     if args.max_group <= 0:
         raise ConfigError("--max-group must be positive")
+    if getattr(args, "telemetry", False):
+        telemetry.enable()
     service = ExperimentService(config)
     server = make_server(service, host=args.host, port=args.port,
                          quiet=not args.verbose)
     host, port = server.server_address[:2]
+    # The listen banner is a machine-readable contract (tests and
+    # tooling parse the URL from stdout, e.g. with --port 0); it must
+    # stay a flushed stdout print, not a log record on stderr.
     print(f"repro service listening on http://{host}:{port} "
           f"({config.shards} worker shards, state in {state_dir}, "
           f"store in {service.store.directory})", flush=True)
+    _log.debug("service listening",
+               extra={"event": "serve.listening", "host": str(host),
+                      "port": int(port), "shards": config.shards})
     service.start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down (queue state is durable; restart "
-              "resumes unfinished grids)", file=sys.stderr)
+        _log.info("shutting down (queue state is durable; restart "
+                  "resumes unfinished grids)",
+                  extra={"event": "serve.shutdown"})
     finally:
         server.server_close()
         service.stop()
@@ -470,6 +502,15 @@ def _cmd_submit(args) -> int:
                 f"metric {name!r} is baseline-relative; fetch records "
                 f"and compute speedups client-side")
     client = ServiceClient(args.server, timeout=args.timeout)
+
+    def _wait_progress(status):
+        progress = status["progress"]
+        _log.info("grid %s: %d/%d done, %d quarantined",
+                  status.get("grid_id", "?"), progress["completed"],
+                  progress["total"], progress["quarantined"],
+                  extra=dict(progress, event="grid.progress",
+                             grid_id=status.get("grid_id", "")))
+
     try:
         ticket = client.submit(spec, tenant=args.tenant,
                                priority=args.priority)
@@ -477,14 +518,14 @@ def _cmd_submit(args) -> int:
             print(json.dumps(ticket, indent=2))
             return 0
         client.wait(ticket["grid_id"], timeout=args.timeout,
-                    poll=args.poll)
+                    poll=args.poll, on_progress=_wait_progress)
         result = client.result(ticket["grid_id"], metrics=metrics)
     except ResultNotReady:
         # A stored result failed its integrity check mid-fetch; the
         # service already re-admitted the run.  Wait it out once more.
         try:
             client.wait(ticket["grid_id"], timeout=args.timeout,
-                        poll=args.poll)
+                        poll=args.poll, on_progress=_wait_progress)
             result = client.result(ticket["grid_id"], metrics=metrics)
         except ServiceError as retry_exc:
             print(f"error: {retry_exc}", file=sys.stderr)
@@ -521,6 +562,44 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _format_age(job) -> str:
+    """Queue age for the listing: meaningful while pending/running."""
+    if job.get("state") not in ("pending", "running"):
+        return "-"
+    age = float(job.get("age", 0.0))
+    if age >= 120.0:
+        return f"{age / 60.0:.1f}m"
+    return f"{age:.1f}s"
+
+
+def _render_jobs(listing, state, args) -> None:
+    jobs = listing["jobs"]
+    scope = f" in state {state!r}" if state else ""
+    if not jobs:
+        print(f"no jobs{scope}")
+        return
+    rows = []
+    for job in jobs:
+        error = job["error"]
+        rows.append((job["key"][:16], job["tenant"], job["state"],
+                     job["attempts"], _format_age(job),
+                     error[:40] + ("..." if len(error) > 40 else "")))
+    print(format_table(
+        ["key", "tenant", "state", "attempts", "age", "last error"],
+        rows,
+        title=f"{len(jobs)} job(s){scope} via {args.server}"))
+    chains = [j for j in jobs
+              if j["state"] == "quarantined" and j["error_chain"]]
+    if chains:
+        print("\nerror chains (oldest attempt first):")
+        for job in chains:
+            print(f"  {job['key'][:16]}:")
+            for entry in job["error_chain"]:
+                print(f"    {entry}")
+        print("requeue with: repro jobs --server "
+              f"{args.server} --requeue [KEY ...]")
+
+
 def _cmd_jobs(args) -> int:
     """Inspect (and requeue) a running service's job table."""
     from repro.service import ServiceClient, ServiceError
@@ -534,38 +613,146 @@ def _cmd_jobs(args) -> int:
             print(f"requeued {out['requeued']} quarantined job(s)")
             return 0
         state = "quarantined" if args.quarantined else args.state
-        listing = client.jobs(state)
+        polls = 0
+        while True:
+            listing = client.jobs(state)
+            if args.json:
+                print(json.dumps(listing, indent=2))
+            else:
+                _render_jobs(listing, state, args)
+            polls += 1
+            if not args.watch or \
+                    (args.iterations and polls >= args.iterations):
+                return 0
+            time.sleep(args.interval)
+            if not args.json:
+                print()
+    except KeyboardInterrupt:
+        return 0
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 4
+
+
+def _cmd_trace(args) -> int:
+    """Run one workload with telemetry on; write a Chrome trace JSON."""
+    cfg = _build_config(args)
+    cfg = cfg.with_writeback(_policy_arg(args.policy))
+    spec = ExperimentSpec(workloads=args.workload, configs=cfg,
+                          seeds=args.seed,
+                          name=f"trace:{args.workload}")
+    was_enabled = telemetry.enabled()
+    telemetry.enable()
+    tracer = telemetry.get_tracer()
+    tracer.reset()
+    # Always simulate, in-process: a cache hit or a subprocess worker
+    # would leave the tracer (a per-process object) with nothing to say.
+    session = Session(cache=False, parallel=1)
+    try:
+        wall_start = time.perf_counter()
+        with tracer.span("run", workload=args.workload,
+                         policy=args.policy):
+            rs = session.run(spec, progress=_progress_fn(args))
+        wall = time.perf_counter() - wall_start
+        trace = tracer.export_chrome()
+    finally:
+        if not was_enabled:
+            telemetry.disable()
+    out = Path(args.out)
+    out.write_text(json.dumps(trace) + "\n")
+    root = max((s for s in tracer.spans() if s.name == "run"),
+               key=lambda s: s.duration, default=None)
+    coverage = 100.0 * root.duration / wall if root and wall else 0.0
+    breakdown = rs.phase_breakdown()
+    summary = {
+        "out": str(out),
+        "wall_seconds": round(wall, 6),
+        "spans": len(tracer.spans()),
+        "dropped_spans": trace["otherData"]["dropped_spans"],
+        "coverage_pct": round(coverage, 3),
+        "phase_breakdown": {k: round(v, 6)
+                            for k, v in breakdown.items()},
+    }
     if args.json:
-        print(json.dumps(listing, indent=2))
+        print(json.dumps(summary, indent=2))
         return 0
-    jobs = listing["jobs"]
-    scope = f" in state {state!r}" if state else ""
-    if not jobs:
-        print(f"no jobs{scope}")
-        return 0
-    rows = []
-    for job in jobs:
-        error = job["error"]
-        rows.append((job["key"][:16], job["tenant"], job["state"],
-                     job["attempts"],
-                     error[:44] + ("..." if len(error) > 44 else "")))
-    print(format_table(
-        ["key", "tenant", "state", "attempts", "last error"], rows,
-        title=f"{len(jobs)} job(s){scope} via {args.server}"))
-    chains = [j for j in jobs
-              if j["state"] == "quarantined" and j["error_chain"]]
-    if chains:
-        print("\nerror chains (oldest attempt first):")
-        for job in chains:
-            print(f"  {job['key'][:16]}:")
-            for entry in job["error_chain"]:
-                print(f"    {entry}")
-        print("requeue with: repro jobs --server "
-              f"{args.server} --requeue [KEY ...]")
+    rows = [(phase, f"{seconds:.4f}",
+             f"{100.0 * seconds / wall:.1f}" if wall else "0.0")
+            for phase, seconds in sorted(
+                breakdown.items(), key=lambda kv: -kv[1])]
+    print(format_table(["phase", "seconds", "% of wall"], rows,
+                       title=f"trace: {args.workload} ({args.policy}), "
+                             f"wall {wall:.3f}s"))
+    print(f"{len(tracer.spans())} span(s) -> {out} "
+          f"(load in Perfetto / chrome://tracing); "
+          f"root span covers {coverage:.1f}% of wall-clock")
     return 0
+
+
+def _render_top(stats, args) -> None:
+    if sys.stdout.isatty() and not args.no_clear:
+        print("\x1b[2J\x1b[H", end="")
+    jobs = stats["jobs"]
+    workers = stats["workers"]
+    store = stats["store"]
+    rates = stats["rates"]
+    grids = stats.get("grids", {})
+    print(f"repro top - {args.server}  "
+          f"uptime {stats['uptime_seconds']:.0f}s  "
+          f"grids " + (" ".join(f"{state}={count}" for state, count
+                                in sorted(grids.items())) or "none"))
+    print("jobs:    " + (" ".join(
+        f"{state}={count}"
+        for state, count in sorted(jobs.items())) or "none"))
+    print(f"workers: {workers['shards']}x {workers['mode']}  "
+          f"utilisation {100.0 * workers['utilisation']:.1f}%  "
+          f"busy {workers['busy_seconds']:.1f}s  "
+          f"inflight {workers['inflight_groups']}  "
+          f"groups {workers['groups']}  jobs {workers['jobs']}  "
+          f"failures {workers['failures']}  "
+          f"retried {workers['retried']}  "
+          f"quarantined {workers['quarantined']}  "
+          f"timeouts {workers['timeouts']}")
+    print(f"store:   hits {store['hits']}  misses {store['misses']}  "
+          f"puts {store['puts']}  "
+          f"integrity_failures {store['integrity_failures']}")
+    print(f"rates:   retry {100.0 * rates['retry']:.2f}%  "
+          f"quarantine {100.0 * rates['quarantine']:.2f}%  "
+          f"integrity {100.0 * rates['integrity']:.2f}%")
+    ages = stats.get("queue_ages", {})
+    if ages:
+        rows = [(tenant, entry["waiting"], f"{entry['p50']:.1f}",
+                 f"{entry['p90']:.1f}", f"{entry['max']:.1f}")
+                for tenant, entry in sorted(ages.items())]
+        print(format_table(
+            ["tenant", "waiting", "p50 (s)", "p90 (s)", "max (s)"],
+            rows, title="queue age by tenant"))
+
+
+def _cmd_top(args) -> int:
+    """Live service dashboard: poll ``/v1/stats`` and render it."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server, timeout=args.timeout)
+    polls = 0
+    try:
+        while True:
+            stats = client.stats()
+            if args.json:
+                print(json.dumps(stats, indent=2))
+            else:
+                _render_top(stats, args)
+            polls += 1
+            if args.iterations and polls >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+            if not args.json and not sys.stdout.isatty():
+                print()
+    except KeyboardInterrupt:
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
 
 
 def _cmd_list(args) -> int:
@@ -680,6 +867,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "quarantined (default 3)")
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+    p_srv.add_argument("--telemetry", action="store_true",
+                       help="enable hot-path telemetry (spans and "
+                            "per-run metrics) in this process; "
+                            "operational /v1/metrics series are always "
+                            "on")
+    _add_logging_args(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
 
     p_sub = sub.add_parser(
@@ -711,6 +904,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--json", action="store_true",
                        help="emit the result envelope as JSON")
     _add_config_args(p_sub)
+    _add_logging_args(p_sub)
     p_sub.set_defaults(fn=_cmd_submit)
 
     p_jobs = sub.add_parser(
@@ -728,17 +922,61 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="requeue quarantined jobs (no keys = all) "
                              "with a fresh attempt budget")
+    p_jobs.add_argument("--watch", action="store_true",
+                        help="poll the job table until Ctrl-C "
+                             "(or --iterations)")
+    p_jobs.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="--watch refresh period (default 2)")
+    p_jobs.add_argument("--iterations", type=int, default=0,
+                        metavar="N",
+                        help="stop --watch after N refreshes "
+                             "(0 = until Ctrl-C)")
     p_jobs.add_argument("--timeout", type=float, default=30.0,
                         metavar="SECONDS", help="HTTP timeout")
     p_jobs.add_argument("--json", action="store_true",
                         help="emit the job listing as JSON")
     p_jobs.set_defaults(fn=_cmd_jobs)
 
+    p_tr = sub.add_parser(
+        "trace", help="run one workload with telemetry enabled and "
+                      "write a Chrome trace-event JSON")
+    p_tr.add_argument("workload", choices=ALL_WORKLOADS)
+    p_tr.add_argument("--policy", choices=_POLICY_CHOICES,
+                      default="baseline")
+    p_tr.add_argument("--out", default="trace.json", metavar="FILE",
+                      help="trace output path (default: trace.json; "
+                           "load in Perfetto or chrome://tracing)")
+    p_tr.add_argument("--json", action="store_true",
+                      help="print the trace summary as JSON")
+    _add_config_args(p_tr)
+    p_tr.set_defaults(fn=_cmd_trace)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard for a running service")
+    p_top.add_argument("--server", default="http://127.0.0.1:8023",
+                       help="service base URL")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh period (default 2)")
+    p_top.add_argument("--iterations", type=int, default=0, metavar="N",
+                       help="stop after N refreshes (0 = until Ctrl-C)")
+    p_top.add_argument("--no-clear", dest="no_clear",
+                       action="store_true",
+                       help="do not clear the screen between refreshes")
+    p_top.add_argument("--timeout", type=float, default=30.0,
+                       metavar="SECONDS", help="HTTP timeout")
+    p_top.add_argument("--json", action="store_true",
+                       help="emit the raw /v1/stats body per poll")
+    p_top.set_defaults(fn=_cmd_top)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=getattr(args, "log_level", "info"),
+                      json_lines=getattr(args, "log_json", False))
     try:
         return args.fn(args)
     except SessionInterrupted as exc:

@@ -37,6 +37,7 @@ try:  # POSIX only; Windows degrades to atomic-rename-with-retry.
 except ImportError:  # pragma: no cover - platform dependent
     fcntl = None  # type: ignore[assignment]
 
+from repro import telemetry
 from repro.experiment.serialize import result_from_dict, result_to_dict
 from repro.experiment.spec import RunSpec
 from repro.resilience import faults
@@ -137,18 +138,29 @@ class ResultCache:
         Corrupt or unverifiable entries are quarantined and read as
         misses, so callers transparently recompute them.
         """
-        payload = self._read_verified(key)
-        if payload is None:
-            return None
-        try:
-            return result_from_dict(payload)
-        except (ValueError, AttributeError, TypeError, KeyError):
-            # Checksum-valid but schema-drifted (an older writer):
-            # not corruption, but still unusable - set it aside.
-            self._quarantine(key)
-            with self._verified_lock:
-                self._verified.discard(key)
-            return None
+        with telemetry.span("cache.get", category="cache"):
+            payload = self._read_verified(key)
+            if payload is None:
+                telemetry.counter(
+                    "repro_cache_misses_total",
+                    "Result-cache lookups that missed").inc()
+                return None
+            try:
+                result = result_from_dict(payload)
+            except (ValueError, AttributeError, TypeError, KeyError):
+                # Checksum-valid but schema-drifted (an older writer):
+                # not corruption, but still unusable - set it aside.
+                self._quarantine(key)
+                with self._verified_lock:
+                    self._verified.discard(key)
+                telemetry.counter(
+                    "repro_cache_misses_total",
+                    "Result-cache lookups that missed").inc()
+                return None
+            telemetry.counter(
+                "repro_cache_hits_total",
+                "Result-cache lookups served from disk").inc()
+            return result
 
     def verify(self, key: str) -> bool:
         """Whether a verified entry exists for ``key`` (cheap when cached).
@@ -197,6 +209,12 @@ class ResultCache:
         races) are retried :data:`PUT_ATTEMPTS` times with backoff under
         the directory's publish lock before giving up.
         """
+        with telemetry.span("cache.put", category="cache"):
+            self._put(key, spec, result)
+        telemetry.counter("repro_cache_puts_total",
+                          "Results published to the cache").inc()
+
+    def _put(self, key: str, spec: RunSpec, result: RunResult) -> None:
         payload = result_to_dict(result)
         body = json.dumps({
             "key": key,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Tuple
 
+from repro import telemetry
 from repro.experiment.spec import RunSpec
 from repro.resilience import faults
 from repro.sim.results import RunResult
@@ -37,9 +38,12 @@ SimulateFn = Callable[[RunSpec], RunResult]
 
 def simulate(spec: RunSpec) -> RunResult:
     """Execute one run spec (the single entry point to the simulator)."""
-    factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
-    system = System(spec.config, factory)
-    return system.run(label=spec.label or spec.workload)
+    with telemetry.span("simulate", workload=spec.workload,
+                        label=spec.label or spec.workload):
+        factory = trace_factory(spec.workload, spec.config,
+                                seed=spec.seed)
+        system = System(spec.config, factory)
+        return system.run(label=spec.label or spec.workload)
 
 
 def iter_group(items: List[KeyedSpec],
@@ -66,16 +70,19 @@ def iter_group(items: List[KeyedSpec],
     snapshot = None
     for key, spec in items:
         faults.trip("simulate", key)
-        factory = trace_factory(spec.workload, spec.config, seed=spec.seed)
-        system = System(spec.config, factory)
-        if snapshot is None:
-            snapshot = system.snapshot_warm_state()
-            warmups, restores = 1, 0
-        else:
-            system.restore_warm_state(snapshot)
-            warmups, restores = 0, 1
-        yield (key, system.run(label=spec.label or spec.workload),
-               warmups, restores)
+        with telemetry.span("simulate", workload=spec.workload,
+                            label=spec.label or spec.workload):
+            factory = trace_factory(spec.workload, spec.config,
+                                    seed=spec.seed)
+            system = System(spec.config, factory)
+            if snapshot is None:
+                snapshot = system.snapshot_warm_state()
+                warmups, restores = 1, 0
+            else:
+                system.restore_warm_state(snapshot)
+                warmups, restores = 0, 1
+            result = system.run(label=spec.label or spec.workload)
+        yield key, result, warmups, restores
 
 
 def simulate_group(

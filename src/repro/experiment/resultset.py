@@ -247,6 +247,23 @@ class ResultSet:
         """Geometric-mean speedup (%) over attached baselines."""
         return 100.0 * (self.gmean("weighted_speedup") - 1.0)
 
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Summed wall-clock seconds per execution phase across the set.
+
+        Phase timings are recorded per run when telemetry is enabled
+        (``RunResult.phase_breakdown``); runs executed with telemetry
+        off contribute nothing.  Returns ``{}`` when no observation
+        carries a breakdown, so callers need no enabled-mode check.
+        """
+        totals: Dict[str, float] = {}
+        for obs in self.observations:
+            breakdown = obs.result.phase_breakdown
+            if not breakdown:
+                continue
+            for phase, seconds in breakdown.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return dict(sorted(totals.items()))
+
     # -- sampling ------------------------------------------------------
 
     def ci(self, metric: str) -> Tuple[float, float]:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro import telemetry
 from repro.config.system import SystemConfig
 from repro.errors import ConfigError
 from repro.experiment.cache import ResultCache
@@ -136,10 +137,14 @@ class Session:
                 self.stats.simulated += 1
                 completed = done
                 self._memo[key] = result
+                spec = plan.runs[key]
+                telemetry.publish_run_result(
+                    result, workload=spec.workload,
+                    policy=spec.config.llc_writeback or "baseline")
                 if self.cache:
-                    self.cache.put(key, plan.runs[key], result)
+                    self.cache.put(key, spec, result)
                 if progress:
-                    progress(done, total, plan.runs[key])
+                    progress(done, total, spec)
         except ConfigError:
             # A mis-specified run is a caller error, not an interrupt:
             # keep the ConfigError contract (CLI exit 2, not 130).

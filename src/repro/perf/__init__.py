@@ -29,6 +29,7 @@ from repro.perf.scenarios import (
     bench_report,
     measure_sampling_scenario,
     measure_scenario,
+    measure_telemetry_overhead,
     measure_warmup_scenario,
     sampling_scenario_configs,
     scenario_config,
@@ -48,6 +49,7 @@ __all__ = [
     "bench_report",
     "measure_sampling_scenario",
     "measure_scenario",
+    "measure_telemetry_overhead",
     "measure_warmup_scenario",
     "sampling_scenario_configs",
     "scenario_config",

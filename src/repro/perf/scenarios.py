@@ -398,11 +398,90 @@ def measure_sampling_scenario(quick: bool = False, repeats: int = 1,
     }
 
 
+def measure_telemetry_overhead(quick: bool = False, repeats: int = 5,
+                               seed: int = 7) -> Dict[str, object]:
+    """Time ``write_stream`` with telemetry disabled vs enabled.
+
+    The telemetry layer promises a near-zero disabled hot path (module
+    singletons, no allocation) and low single-digit-percent cost when
+    spans and per-run metrics are on.  The overhead is a small
+    difference between two noisy measurements, so this leg is measured
+    differently from the throughput scenarios: per-process **CPU time**
+    (``time.process_time``, immune to scheduler interference on shared
+    hosts), one untimed priming run, then ``repeats`` back-to-back
+    disabled/enabled *pairs* whose per-pair ratios are summarised by
+    their **median** - pairing cancels slow host drift and the median
+    rejects the odd interrupted run.  Reports ``overhead_pct`` plus the
+    enabled leg's ``phase_breakdown``, so BENCH_simcore.json tracks
+    where run time goes phase by phase alongside what the measuring
+    itself costs.
+    """
+    from repro import telemetry
+    from repro.experiment.session import Session
+
+    scenario = SCENARIOS[0]  # write_stream: the busiest writeback path
+    config = scenario_config(scenario, quick=quick)
+    was_enabled = telemetry.enabled()
+    best: Dict[str, float] = {}
+    ratios: List[float] = []
+    phases: Dict[str, float] = {}
+
+    def timed_run() -> Tuple[float, object]:
+        telemetry.get_tracer().reset()
+        session = Session(cache=False)
+        start = time.process_time()
+        result = session.run_one(config, scenario.workload, seed=seed)
+        return time.process_time() - start, result
+
+    try:
+        telemetry.disable()
+        Session(cache=False).run_one(config, scenario.workload,
+                                     seed=seed)  # untimed priming run
+        for _ in range(max(1, repeats)):
+            telemetry.disable()
+            disabled_seconds, _ = timed_run()
+            telemetry.enable()
+            enabled_seconds, result = timed_run()
+            ratios.append(enabled_seconds / disabled_seconds - 1.0)
+            for leg, seconds in (("disabled", disabled_seconds),
+                                 ("enabled", enabled_seconds)):
+                if leg not in best or seconds < best[leg]:
+                    best[leg] = seconds
+                    if leg == "enabled":
+                        phases = dict(result.phase_breakdown or {})
+    finally:
+        telemetry.get_tracer().reset()
+        if was_enabled:
+            telemetry.enable()
+        else:
+            telemetry.disable()
+    ratios.sort()
+    median = ratios[len(ratios) // 2] if len(ratios) % 2 else \
+        (ratios[len(ratios) // 2 - 1] + ratios[len(ratios) // 2]) / 2.0
+    return {
+        "name": "telemetry_overhead",
+        "scenario": scenario.name,
+        "workload": scenario.workload,
+        "preset": scenario.preset,
+        "warmup_instructions": config.warmup_instructions,
+        "sim_instructions": config.sim_instructions,
+        "seed": seed,
+        "repeats": max(1, repeats),
+        "disabled_seconds": round(best["disabled"], 4),
+        "enabled_seconds": round(best["enabled"], 4),
+        "overhead_pct": round(100.0 * median, 3),
+        "phase_breakdown": {phase: round(seconds, 6)
+                            for phase, seconds
+                            in sorted(phases.items())},
+    }
+
+
 def bench_report(entries: List[Dict[str, object]], mode: str,
                  repeats: int,
                  baseline: Optional[Dict[str, object]] = None,
                  warmup: Optional[Dict[str, object]] = None,
                  sampling: Optional[Dict[str, object]] = None,
+                 telemetry: Optional[Dict[str, object]] = None,
                  ) -> Dict[str, object]:
     """Assemble the BENCH_simcore.json payload.
 
@@ -417,7 +496,9 @@ def bench_report(entries: List[Dict[str, object]], mode: str,
     ``warmup_scenario`` (its metric is wall seconds, not events/sec, so
     it stays out of the throughput geomean).  ``sampling`` is the entry
     from :func:`measure_sampling_scenario`, reported under
-    ``sampling_scenario`` for the same reason.
+    ``sampling_scenario`` for the same reason.  ``telemetry`` is the
+    entry from :func:`measure_telemetry_overhead`, reported under
+    ``telemetry_overhead`` (a cost/phase profile, not a throughput).
     """
     base_scenarios: Dict[str, Dict[str, object]] = \
         dict(baseline.get("scenarios", {})) if baseline else {}
@@ -448,4 +529,6 @@ def bench_report(entries: List[Dict[str, object]], mode: str,
         report["warmup_scenario"] = warmup
     if sampling is not None:
         report["sampling_scenario"] = sampling
+    if telemetry is not None:
+        report["telemetry_overhead"] = telemetry
     return report

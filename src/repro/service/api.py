@@ -4,6 +4,8 @@ Endpoints (all JSON bodies)::
 
     GET  /v1/health                liveness + version
     GET  /v1/stats                 service-wide accounting
+    GET  /v1/metrics               Prometheus text exposition
+                                   (the one non-JSON endpoint)
     POST /v1/grids                 submit a grid        -> 202 status
     GET  /v1/grids/<id>            progress snapshot    -> 200 status
     GET  /v1/grids/<id>/result     finished ResultSet   -> 200 records
@@ -30,6 +32,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro import telemetry
 from repro.errors import ConfigError
 from repro.service.queue import QueueFull
 from repro.service.service import ExperimentService, ResultPending, \
@@ -73,14 +76,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send(self, code: int, payload: Dict[str, Any],
               retry_after: Optional[int] = None) -> None:
-        body = json.dumps(payload).encode()
+        self._send_bytes(code, json.dumps(payload).encode(),
+                         "application/json", retry_after=retry_after)
+
+    def _send_bytes(self, code: int, body: bytes, content_type: str,
+                    retry_after: Optional[int] = None) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
             self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
+        telemetry.REGISTRY.counter(
+            "repro_http_requests_total", "API requests served",
+            ("method", "code")).labels(
+                method=self.command, code=str(code)).inc()
 
     def _error(self, code: int, message: str,
                retry_after: Optional[int] = None,
@@ -111,6 +122,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                                  "version": API_VERSION})
             elif parts == ["v1", "stats"]:
                 self._send(200, self.service.stats())
+            elif parts == ["v1", "metrics"]:
+                self._send_bytes(
+                    200, self.service.metrics_text().encode(),
+                    "text/plain; version=0.0.4; charset=utf-8")
             elif len(parts) == 3 and parts[:2] == ["v1", "grids"]:
                 self._send(200, self.service.status(parts[2]))
             elif len(parts) == 4 and parts[:2] == ["v1", "grids"] \

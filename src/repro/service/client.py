@@ -29,11 +29,12 @@ from __future__ import annotations
 import json
 import time
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, \
-    Union
+    Tuple, Union
 from urllib.error import HTTPError, URLError
 from urllib.parse import quote
 from urllib.request import Request, urlopen
 
+from repro import telemetry
 from repro.experiment.serialize import experiment_to_dict
 from repro.experiment.spec import ExperimentSpec
 from repro.resilience import FaultInjected, RetryPolicy, faults
@@ -140,6 +141,9 @@ class ServiceClient:
         never retried.
         """
         attempt = 0
+        retries = telemetry.counter(
+            "repro_client_retries_total",
+            "Client request attempts that were retried", ("kind",))
         while True:
             attempt += 1
             try:
@@ -150,10 +154,12 @@ class ServiceClient:
                         0, {"error": f"cannot reach "
                                      f"{self.base_url}{path}: {exc}"}) \
                         from None
+                retries.labels(kind="fault").inc()
                 time.sleep(self.retry_policy.delay(attempt, path))
             except Backpressure as exc:
                 if not self.retry_backpressure or attempt > self.retries:
                     raise
+                retries.labels(kind="backpressure").inc()
                 delay = self.retry_policy.delay(attempt, path)
                 if exc.retry_after is not None:
                     delay = max(delay, exc.retry_after)
@@ -161,6 +167,7 @@ class ServiceClient:
             except ServiceError as exc:
                 if exc.status != 0 or attempt > self.retries:
                     raise
+                retries.labels(kind="connection").inc()
                 time.sleep(self.retry_policy.delay(attempt, path))
 
     # -- endpoints -----------------------------------------------------
@@ -170,6 +177,26 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition from ``/v1/metrics``.
+
+        The one non-JSON endpoint; returned verbatim for scrapers,
+        ``repro top``, and tests asserting on series.
+        """
+        url = f"{self.base_url}/v1/metrics"
+        request = Request(url, method="GET",
+                          headers={"Accept": "text/plain"})
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode()
+        except HTTPError as exc:
+            raise ServiceError(exc.code,
+                               {"error": exc.reason}) from None
+        except URLError as exc:
+            raise ServiceError(
+                0, {"error": f"cannot reach {url}: {exc.reason}"}) \
+                from None
 
     def submit(self,
                experiment: Union[ExperimentSpec, Mapping[str, Any]],
@@ -231,19 +258,26 @@ class ServiceClient:
         ``poll_max``) while nothing changes, and snaps back to ``poll``
         whenever progress advances - long waits stop hammering the
         server without going blind.  Every status observed carries
-        ``status["progress"] = {"completed": ..., "total": ...}`` and is
-        passed to ``on_progress`` (when given), so callers can render
-        partial progress mid-wait.
+        ``status["progress"] = {"completed": ..., "quarantined": ...,
+        "total": ...}``; ``on_progress`` (when given) fires on the first
+        poll and then only when completion, quarantine count, or state
+        actually changed - not once per poll.
         """
         deadline = time.time() + timeout
         interval = poll
         last_done = -1
+        last_seen: Optional[Tuple[int, int, str]] = None
         while True:
             status = self.status(grid_id)
-            status["progress"] = {"completed": status.get("done", 0),
+            done = int(status.get("done", 0))
+            quarantined = int(status.get("quarantined", 0))
+            status["progress"] = {"completed": done,
+                                  "quarantined": quarantined,
                                   "total": status.get("unique_runs", 0)}
-            if on_progress is not None:
+            observed = (done, quarantined, str(status.get("state", "")))
+            if on_progress is not None and observed != last_seen:
                 on_progress(status)
+            last_seen = observed
             if status["state"] in ("done", "degraded"):
                 return status
             if status["state"] in ("failed", "cancelled"):
@@ -256,8 +290,8 @@ class ServiceClient:
                           f"for grid {grid_id} "
                           f"({status['done']}/{status['unique_runs']} "
                           f"runs done)"))
-            if status.get("done", 0) > last_done:
-                last_done = status.get("done", 0)
+            if done > last_done:
+                last_done = done
                 interval = poll  # progress: stay responsive
             else:
                 interval = min(poll_max, interval * _POLL_GROWTH)

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro import telemetry
 from repro.experiment.serialize import spec_from_dict
 from repro.experiment.spec import RunSpec, warm_group_key
 
@@ -108,9 +109,14 @@ class Job:
     solo: bool = False
     #: Earliest wall-clock time this job may lease again (backoff).
     not_before: float = 0.0
+    #: Wall-clock time the job was admitted (queue-age telemetry;
+    #: 0.0 for records written before the field existed).
+    enqueued_at: float = 0.0
     #: Lease epoch of the worker currently holding the job.  Transient:
     #: not persisted - a reloaded queue demotes RUNNING jobs anyway.
     lease: int = field(default=0, repr=False, compare=False)
+    #: When the current lease was granted (transient, run-time metric).
+    leased_at: float = field(default=0.0, repr=False, compare=False)
     #: Warm-checkpoint-sharing key (None = cannot share).
     group: Optional[str] = field(default=None, repr=False)
 
@@ -132,6 +138,7 @@ class Job:
             "error_chain": list(self.error_chain),
             "solo": self.solo,
             "not_before": self.not_before,
+            "enqueued_at": self.enqueued_at,
             "spec": self.spec.describe(),
         }
 
@@ -152,6 +159,7 @@ class Job:
             error_chain=[str(e) for e in data.get("error_chain", [])],
             solo=bool(data.get("solo", False)),
             not_before=float(data.get("not_before", 0.0)),
+            enqueued_at=float(data.get("enqueued_at", 0.0)),
         )
 
     def record_error(self, error: str) -> None:
@@ -159,6 +167,15 @@ class Job:
         self.error = error
         self.error_chain.append(f"attempt {self.attempts}: {error}")
         del self.error_chain[:-MAX_ERROR_CHAIN]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (empty -> 0.0)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
 
 
 class JobQueue:
@@ -193,6 +210,29 @@ class JobQueue:
         from repro.service.util import atomic_write_json
 
         atomic_write_json(self._path(job.key), job.to_dict())
+
+    def _transition(self, job: Job, old: str, reason: str = "") -> None:
+        """Record one job state change: structured log + counter.
+
+        Operational (always-on) telemetry: every transition increments
+        ``repro_jobs_transitions_total{from_state,to_state}`` in the
+        process registry and emits a ``job.transition`` log record whose
+        extras surface as top-level fields in ``--log-json`` mode.
+        """
+        if job.state == old:
+            return
+        telemetry.REGISTRY.counter(
+            "repro_jobs_transitions_total",
+            "Job state transitions by (from, to) pair",
+            ("from_state", "to_state")).labels(
+                from_state=old, to_state=job.state).inc()
+        logger.info(
+            "job %s (%s): %s -> %s%s", job.key[:12], job.tenant, old,
+            job.state, f" ({reason})" if reason else "",
+            extra={"event": "job.transition", "job": job.key,
+                   "tenant": job.tenant, "from_state": old,
+                   "to_state": job.state, "attempts": job.attempts,
+                   "reason": reason})
 
     def _quarantine_file(self, path: Path, reason: str) -> None:
         """Move an unreadable job file aside so the service still starts.
@@ -236,6 +276,7 @@ class JobQueue:
                 job.state = PENDING
                 self.resumed += 1
                 self._persist(job)
+                self._transition(job, RUNNING, reason="resumed at load")
             self._jobs[job.key] = job
             self._seq = max(self._seq, job.seq + 1)
 
@@ -286,10 +327,12 @@ class JobQueue:
                     attach_keys = list(attach_keys) + [key]
                     continue
                 job = Job(key=key, spec=spec, tenant=tenant,
-                          priority=priority, grids=grids, seq=self._seq)
+                          priority=priority, grids=grids, seq=self._seq,
+                          enqueued_at=time.time())
                 self._seq += 1
                 self._jobs[key] = job
                 self._persist(job)
+                self._transition(job, "new", reason="admitted")
                 created += 1
             for key in attach_keys:
                 job = self._jobs.get(key)
@@ -306,10 +349,14 @@ class JobQueue:
                     # A fresh grid wants a job that previously failed,
                     # was cancelled, or sat in quarantine: give it a
                     # whole new attempt budget.
+                    old = job.state
                     job.state = PENDING
                     job.error = ""
                     job.attempts = 0
                     job.not_before = 0.0
+                    job.enqueued_at = time.time()
+                    self._transition(job, old,
+                                     reason="resurrected by attach")
                     changed = True
                 if changed:
                     self._persist(job)
@@ -376,11 +423,18 @@ class JobQueue:
                 mates.sort(key=lambda j: (-j.priority, j.seq))
                 group.extend(mates[:max(0, max_jobs - 1)])
             self._lease_seq += 1
+            waits = telemetry.REGISTRY.histogram(
+                "repro_job_queue_wait_seconds",
+                "Pending time between admission and lease")
             for job in group:
                 job.state = RUNNING
                 job.attempts += 1
                 job.lease = self._lease_seq
+                job.leased_at = now
                 self._persist(job)
+                self._transition(job, PENDING, reason="leased")
+                if job.enqueued_at:
+                    waits.observe(max(0.0, now - job.enqueued_at))
             return group
 
     # -- completion ----------------------------------------------------
@@ -400,9 +454,16 @@ class JobQueue:
             job = self._holder(key, lease)
             if job is None:
                 return
+            old = job.state
             job.state = DONE
             job.error = ""
             self._persist(job)
+            self._transition(job, old, reason="completed")
+            if job.leased_at:
+                telemetry.REGISTRY.histogram(
+                    "repro_job_run_seconds",
+                    "Lease-to-done time of completed jobs").observe(
+                        max(0.0, time.time() - job.leased_at))
 
     def fail(self, key: str, error: str,
              lease: Optional[int] = None) -> None:
@@ -411,9 +472,11 @@ class JobQueue:
             job = self._holder(key, lease)
             if job is None:
                 return
+            old = job.state
             job.state = FAILED
             job.record_error(error)
             self._persist(job)
+            self._transition(job, old, reason=error)
 
     def retry(self, key: str, error: str, delay: float = 0.0,
               solo: bool = True, lease: Optional[int] = None) -> None:
@@ -433,6 +496,7 @@ class JobQueue:
             job.not_before = time.time() + max(0.0, delay)
             job.record_error(error)
             self._persist(job)
+            self._transition(job, RUNNING, reason=f"retry: {error}")
 
     def quarantine(self, key: str, error: str,
                    lease: Optional[int] = None) -> None:
@@ -446,9 +510,11 @@ class JobQueue:
             job = self._holder(key, lease)
             if job is None:
                 return
+            old = job.state
             job.state = QUARANTINED
             job.record_error(error)
             self._persist(job)
+            self._transition(job, old, reason=error)
 
     def release(self, keys: List[str], lease: Optional[int] = None,
                 refund_attempt: bool = False) -> None:
@@ -466,6 +532,7 @@ class JobQueue:
                     if refund_attempt:
                         job.attempts = max(0, job.attempts - 1)
                     self._persist(job)
+                    self._transition(job, RUNNING, reason="released")
 
     def resurrect(self, key: str) -> bool:
         """Force a terminal job back to PENDING with a fresh budget.
@@ -478,11 +545,14 @@ class JobQueue:
             job = self._jobs.get(key)
             if job is None or job.state in (PENDING, RUNNING):
                 return False
+            old = job.state
             job.state = PENDING
             job.attempts = 0
             job.not_before = 0.0
             job.error = ""
+            job.enqueued_at = time.time()
             self._persist(job)
+            self._transition(job, old, reason="resurrected")
             return True
 
     def requeue_quarantined(self,
@@ -503,7 +573,9 @@ class JobQueue:
                 job.attempts = 0
                 job.not_before = 0.0
                 job.error = ""
+                job.enqueued_at = time.time()
                 self._persist(job)
+                self._transition(job, QUARANTINED, reason="requeued")
                 requeued += 1
         return requeued
 
@@ -523,6 +595,8 @@ class JobQueue:
                 if not job.grids and job.state == PENDING:
                     job.state = CANCELLED
                     cancelled += 1
+                    self._transition(job, PENDING,
+                                     reason="grid cancelled")
                 self._persist(job)
         return cancelled
 
@@ -533,13 +607,19 @@ class JobQueue:
 
         The shape the ``/v1/jobs`` endpoint and ``repro jobs`` render:
         key, tenant, state, priority, attempts, latest error, error
-        chain, interested grids, and retry bookkeeping.
+        chain, interested grids, retry bookkeeping, and queue age
+        (seconds since admission for pending/running jobs, 0 for
+        terminal states and pre-telemetry records).
         """
+        now = time.time()
         with self._lock:
             out = []
             for job in sorted(self._jobs.values(), key=lambda j: j.seq):
                 if state is not None and job.state != state:
                     continue
+                age = 0.0
+                if job.enqueued_at and job.state in (PENDING, RUNNING):
+                    age = max(0.0, now - job.enqueued_at)
                 out.append({
                     "key": job.key,
                     "tenant": job.tenant,
@@ -551,6 +631,8 @@ class JobQueue:
                     "grids": list(job.grids),
                     "solo": job.solo,
                     "not_before": job.not_before,
+                    "enqueued_at": job.enqueued_at,
+                    "age": age,
                 })
             return out
 
@@ -571,6 +653,33 @@ class JobQueue:
                     job.tenant, {state: 0 for state in STATES})
                 bucket[job.state] += 1
             return out
+
+    def pending_ages(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant queue-age percentiles over waiting jobs (seconds).
+
+        Covers PENDING and RUNNING jobs with a recorded admission time;
+        the p50/p90/max trio is what ``/v1/stats`` reports per tenant
+        and what ``repro top`` renders.  Empty dict when nothing waits.
+        """
+        now = time.time()
+        with self._lock:
+            ages: Dict[str, List[float]] = {}
+            for job in self._jobs.values():
+                if job.state not in (PENDING, RUNNING) or \
+                        not job.enqueued_at:
+                    continue
+                ages.setdefault(job.tenant, []).append(
+                    max(0.0, now - job.enqueued_at))
+        out: Dict[str, Dict[str, float]] = {}
+        for tenant, values in sorted(ages.items()):
+            values.sort()
+            out[tenant] = {
+                "waiting": len(values),
+                "p50": _percentile(values, 0.5),
+                "p90": _percentile(values, 0.9),
+                "max": values[-1],
+            }
+        return out
 
     def outstanding(self) -> int:
         """Jobs still pending or running (the drain condition).

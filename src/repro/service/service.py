@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, \
     Union
 
+from repro import telemetry
 from repro.errors import ConfigError
 from repro.experiment.cache import default_cache_dir
 from repro.experiment.resultset import ResultSet, from_points
@@ -467,13 +468,28 @@ class ExperimentService:
                     continue
                 grid_states[state] = grid_states.get(state, 0) + 1
             counters = dict(self.counters)
+        workers = self.workers.stats_dict()
+        store = self.store.stats_dict()
+        executed = workers["jobs"] + workers["failures"]
         return {
             "uptime_seconds": time.time() - self._started_at,
             "grids": grid_states,
             "jobs": self.queue.counts(),
             "tenants": self.queue.tenant_counts(),
-            "store": self.store.stats_dict(),
-            "workers": self.workers.stats_dict(),
+            "queue_ages": self.queue.pending_ages(),
+            "store": store,
+            "workers": workers,
+            "rates": {
+                # Failure-mode rates per executed job attempt: how often
+                # an attempt was retried, dead-lettered, or tripped the
+                # store's integrity check.  0.0 on an idle service.
+                "retry": (workers["retried"] / executed
+                          if executed else 0.0),
+                "quarantine": (workers["quarantined"] / executed
+                               if executed else 0.0),
+                "integrity": (store["integrity_failures"] / executed
+                              if executed else 0.0),
+            },
             "counters": counters,
             "limits": {
                 "max_pending_per_tenant":
@@ -481,6 +497,62 @@ class ExperimentService:
                 "max_pending_total": self.queue.max_pending_total,
             },
         }
+
+    def metrics_text(self) -> str:
+        """The ``/v1/metrics`` body: Prometheus text exposition.
+
+        Counters (job transitions, queue-wait/run-time histograms,
+        HTTP request counts) accumulate in the process registry as they
+        happen; point-in-time gauges (queue depth, worker utilisation,
+        store totals) are refreshed here at scrape time.
+        """
+        registry = telemetry.REGISTRY
+        depth = registry.gauge(
+            "repro_queue_depth", "Jobs by state", ("state",))
+        for state, count in self.queue.counts().items():
+            depth.labels(state=state).set(count)
+        ages = registry.gauge(
+            "repro_queue_age_seconds",
+            "Pending-age percentiles per tenant",
+            ("tenant", "quantile"))
+        for tenant, stats in self.queue.pending_ages().items():
+            for quantile in ("p50", "p90", "max"):
+                ages.labels(tenant=tenant,
+                            quantile=quantile).set(stats[quantile])
+        workers = self.workers.stats_dict()
+        registry.gauge(
+            "repro_worker_utilisation",
+            "Busy shard-seconds / capacity since start").set(
+                workers["utilisation"])
+        registry.gauge(
+            "repro_worker_busy_seconds",
+            "Shard-seconds spent executing groups").set(
+                workers["busy_seconds"])
+        registry.gauge(
+            "repro_worker_shards", "Configured shard count").set(
+                self.workers.shards)
+        worker_totals = registry.gauge(
+            "repro_worker_events", "Worker pool counters", ("kind",))
+        for kind in ("groups", "jobs", "failures", "retried",
+                     "quarantined", "timeouts", "pool_respawns",
+                     "store_skips"):
+            worker_totals.labels(kind=kind).set(workers[kind])
+        store = self.store.stats_dict()
+        store_totals = registry.gauge(
+            "repro_store_events", "Result store counters", ("kind",))
+        for kind in ("hits", "misses", "puts", "integrity_failures"):
+            store_totals.labels(kind=kind).set(store[kind])
+        registry.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since the service started").set(
+                time.time() - self._started_at)
+        service_counters = registry.gauge(
+            "repro_service_counters", "Service-level counters",
+            ("kind",))
+        with self._lock:
+            for kind, value in self.counters.items():
+                service_counters.labels(kind=kind).set(value)
+        return registry.render()
 
     def drain(self, timeout: float = 60.0, poll: float = 0.02) -> bool:
         """Block until no jobs are pending/running (True) or timeout."""

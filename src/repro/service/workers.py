@@ -50,11 +50,15 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.experiment.execute import iter_group, simulate_group
 from repro.resilience.retry import RetryPolicy
 from repro.service.queue import Job, JobQueue
 from repro.service.store import ResultStore
 from repro.sim.results import RunResult
+from repro.telemetry import get_logger
+
+logger = get_logger("workers")
 
 #: Module-level indirection so tests can substitute the executor.
 run_group = simulate_group
@@ -141,6 +145,10 @@ class WorkerPool:
         self._manager: Optional[Any] = None
         self._heartbeats: Optional[Any] = None
         self._thread_seq = 0
+        #: Seconds shards have spent executing groups (finished groups
+        #: only; :meth:`utilisation` adds the live in-flight portion).
+        self._busy_seconds = 0.0
+        self._started_at: Optional[float] = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -157,6 +165,15 @@ class WorkerPool:
         if self._threads:
             return
         self._stop.clear()
+        if self._started_at is None:
+            self._started_at = time.time()
+        logger.info(
+            "worker pool starting: %d shard(s), %s mode",
+            self.shards,
+            "process" if self.use_processes else "inline",
+            extra={"event": "workers.start", "shards": self.shards,
+                   "mode": "process" if self.use_processes
+                   else "inline"})
         if self.use_processes:
             if self.job_timeout is not None:
                 self._manager = multiprocessing.Manager()
@@ -228,7 +245,10 @@ class WorkerPool:
             self._track(group, epoch)
             if not self.use_processes:
                 try:
-                    outcome = run_group(items)
+                    with telemetry.span("job.lease→done",
+                                        category="service",
+                                        jobs=len(items), epoch=epoch):
+                        outcome = run_group(items)
                 except Exception as exc:  # worker crash: isolate/retry
                     self._untrack(epoch)
                     self._on_error(group, exc)
@@ -336,6 +356,9 @@ class WorkerPool:
     def _untrack(self, epoch: int) -> Optional[Dict[str, Any]]:
         with self._lock:
             entry = self._inflight_groups.pop(epoch, None)
+            if entry is not None:
+                self._busy_seconds += \
+                    max(0.0, time.time() - entry["started"])
         if self._heartbeats is not None:
             try:
                 self._heartbeats.pop(str(epoch), None)
@@ -377,6 +400,11 @@ class WorkerPool:
             f"job timeout: no progress in {self.job_timeout:.3g}s")
         with self._lock:
             self.stats.timeouts += 1
+        logger.warning(
+            "reaping hung group (lease epoch %d, %d job(s)): no "
+            "progress in %.3gs", epoch, len(jobs), self.job_timeout,
+            extra={"event": "workers.reap", "epoch": epoch,
+                   "jobs": len(jobs), "timeout": self.job_timeout})
         if not self.use_processes:
             # The stuck thread cannot be killed; retire it (it exits -
             # or its late completions no-op on the stale lease) and
@@ -442,6 +470,10 @@ class WorkerPool:
         """Dispose a failed group: isolate, retry with backoff, or
         quarantine - never fail innocent siblings."""
         error = f"{type(exc).__name__}: {exc}"
+        logger.warning(
+            "group of %d failed: %s", len(group), error,
+            extra={"event": "workers.group_error", "jobs": len(group),
+                   "error": error})
         retried = quarantined = 0
         for job in group:
             if len(group) > 1:
@@ -472,11 +504,34 @@ class WorkerPool:
 
     # -- introspection -------------------------------------------------
 
+    def busy_seconds(self) -> float:
+        """Shard-seconds spent executing groups, including in-flight."""
+        now = time.time()
+        with self._lock:
+            live = sum(max(0.0, now - entry["started"])
+                       for entry in self._inflight_groups.values())
+            return self._busy_seconds + live
+
+    def utilisation(self) -> float:
+        """Fraction of shard capacity spent executing since start.
+
+        ``busy shard-seconds / (uptime x shards)``, clamped to [0, 1];
+        0.0 before the pool ever started.
+        """
+        if self._started_at is None:
+            return 0.0
+        uptime = max(1e-9, time.time() - self._started_at)
+        return min(1.0, self.busy_seconds() / (uptime * self.shards))
+
     def stats_dict(self) -> Dict[str, Any]:
         with self._lock:
             data = asdict(self.stats)
+            inflight = len(self._inflight_groups)
         data["shards"] = self.shards
         data["mode"] = "processes" if self.use_processes else "inline"
         data["job_timeout"] = self.job_timeout
         data["max_attempts"] = self.retry.max_attempts
+        data["inflight_groups"] = inflight
+        data["busy_seconds"] = round(self.busy_seconds(), 6)
+        data["utilisation"] = round(self.utilisation(), 6)
         return data

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.cache import CacheStats
 from repro.cache.writeback.base import WritebackPolicyStats
@@ -41,6 +41,12 @@ class RunResult:
     #: How the run was sampled, with per-metric confidence intervals;
     #: ``None`` for full (unsampled) runs.
     sampling: Optional[SamplingSummary] = None
+    #: Wall-clock seconds per execution phase (``warmup.functional``,
+    #: ``measure``, ``sampling.interval``, ...), recorded when telemetry
+    #: is enabled; ``None`` otherwise.  Indexed phases are collapsed
+    #: (every ``sampling.interval[i]`` accumulates into one key), so the
+    #: dict stays small regardless of interval count.
+    phase_breakdown: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Derived metrics (the paper's reporting vocabulary)

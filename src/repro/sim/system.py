@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import copy
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro import telemetry
 
 from repro.cache.cache import Cache, CacheStats
 from repro.cache.replacement import make_replacement
@@ -36,6 +38,11 @@ class System:
     def __init__(self, config: SystemConfig, traces: TraceFactory) -> None:
         self.config = config
         self.engine = Engine()
+        # Phase timings accumulate here when telemetry is on; None keeps
+        # the disabled path branch-free at every span site (the span()
+        # helper itself is the gate and ignores a None breakdown).
+        self._phases: Optional[Dict[str, float]] = \
+            {} if telemetry.enabled() else None
 
         timing = ddr5_4800_x8() if config.dram.device == "x8" else (
             ddr5_4800_x4()
@@ -219,13 +226,19 @@ class System:
         if config.warmup_instructions <= 0:
             return
         if config.warmup_mode == "functional":
-            for core in self.cores:
-                core.warm_up(config.warmup_instructions)
-            self._prime_writeback_policy()
+            with telemetry.span("warmup.functional",
+                                breakdown=self._phases,
+                                instructions=config.warmup_instructions):
+                for core in self.cores:
+                    core.warm_up(config.warmup_instructions)
+                self._prime_writeback_policy()
         else:
-            for core in self.cores:
-                core.start()
-            self._run_phase()
+            with telemetry.span("warmup.detailed",
+                                breakdown=self._phases,
+                                instructions=config.warmup_instructions):
+                for core in self.cores:
+                    core.start()
+                self._run_phase()
         self.reset_stats()
 
     def _prime_writeback_policy(self) -> None:
@@ -292,19 +305,22 @@ class System:
             raise SimulationError(
                 "snapshot_warm_state must run before measurement starts")
         consumed = self.config.warmup_instructions
-        return WarmState(
-            signature=warm_config_signature(self.config),
-            caches=[c.snapshot_warm_state() for c in self._warm_caches()],
-            cores=[
-                CoreWarmState(
-                    dtlb=core.dtlb.snapshot(),
-                    itlb=core.itlb.snapshot(),
-                    last_fetch_line=core._last_fetch_line,
-                    consumed=consumed,
-                )
-                for core in self.cores
-            ],
-        )
+        with telemetry.span("checkpoint.snapshot",
+                            breakdown=self._phases):
+            return WarmState(
+                signature=warm_config_signature(self.config),
+                caches=[c.snapshot_warm_state()
+                        for c in self._warm_caches()],
+                cores=[
+                    CoreWarmState(
+                        dtlb=core.dtlb.snapshot(),
+                        itlb=core.itlb.snapshot(),
+                        last_fetch_line=core._last_fetch_line,
+                        consumed=consumed,
+                    )
+                    for core in self.cores
+                ],
+            )
 
     def restore_warm_state(self, state: WarmState) -> None:
         """Adopt a snapshot's warm state instead of executing warmup.
@@ -325,14 +341,17 @@ class System:
         if self.engine.now or self.engine.events_fired or self._warmed:
             raise SimulationError(
                 "restore_warm_state requires a freshly built system")
-        for cache, cache_state in zip(self._warm_caches(), state.caches):
-            cache.restore_warm_state(cache_state)
-        for core, core_state in zip(self.cores, state.cores):
-            core.dtlb.restore(core_state.dtlb)
-            core.itlb.restore(core_state.itlb)
-            core._last_fetch_line = core_state.last_fetch_line
-            core.skip_trace(core_state.consumed)
-        self._prime_writeback_policy()
+        with telemetry.span("checkpoint.restore",
+                            breakdown=self._phases):
+            for cache, cache_state in zip(self._warm_caches(),
+                                          state.caches):
+                cache.restore_warm_state(cache_state)
+            for core, core_state in zip(self.cores, state.cores):
+                core.dtlb.restore(core_state.dtlb)
+                core.itlb.restore(core_state.itlb)
+                core._last_fetch_line = core_state.last_fetch_line
+                core.skip_trace(core_state.consumed)
+            self._prime_writeback_policy()
         self._warmed = True
 
     # ------------------------------------------------------------------
@@ -352,14 +371,19 @@ class System:
             return self.run_sampled(label=label)
         self.warm_up()
         start_tick = self.engine.now
-        for core in self.cores:
-            core.reset_measurement(config.sim_instructions)
-            core.start()
-        self._run_phase()
-        self.memctrl.finalize()
-        return self._collect(
+        with telemetry.span("measure", breakdown=self._phases,
+                            instructions=config.sim_instructions):
+            for core in self.cores:
+                core.reset_measurement(config.sim_instructions)
+                core.start()
+            self._run_phase()
+            self.memctrl.finalize()
+        result = self._collect(
             label or (config.llc_writeback or "baseline"),
             start_tick=start_tick, start_events=0)
+        if self._phases is not None:
+            result.phase_breakdown = dict(self._phases)
+        return result
 
     def _collect(self, label: str, start_tick: int, start_events: int,
                  core_stats=None) -> RunResult:
@@ -455,50 +479,61 @@ class System:
             start = next(starts)
             gap = start - consumed
             if gap > 0:
-                # The gap is spent, from the back: a detailed-but-
-                # unmeasured pipeline re-warm, functional cache warming
-                # before that, raw trace skipping for the rest.
-                detail = min(gap, sampling.detailed_warm_instructions)
-                warm = min(gap - detail, sampling.warm_instructions)
-                skip = gap - detail - warm
-                if warm:
-                    # Functional warming rewrites tag arrays in place; a
-                    # detailed fill still in flight from the previous
-                    # interval would land on a rewritten set and corrupt
-                    # the tag index.  Idle the cores and complete the
-                    # pipeline first (the queue empties: channels stop
-                    # ticking once reads drain and the write queue is
-                    # below its watermark).
-                    for core in self.cores:
-                        core.pause()
-                    self.engine.run()
-                for core in self.cores:
-                    if skip:
-                        core.skip_trace(skip)
+                with telemetry.span(f"sampling.gap[{index}]",
+                                    breakdown=self._phases,
+                                    instructions=gap):
+                    # The gap is spent, from the back: a detailed-but-
+                    # unmeasured pipeline re-warm, functional cache
+                    # warming before that, raw trace skipping for the
+                    # rest.
+                    detail = min(gap,
+                                 sampling.detailed_warm_instructions)
+                    warm = min(gap - detail, sampling.warm_instructions)
+                    skip = gap - detail - warm
                     if warm:
-                        core.warm_up(warm)
-                if warm:
-                    self._prime_writeback_policy()
-                if detail:
-                    # Discarded detailed window: refills the ROB, MSHRs,
-                    # and memory queues so the measured interval starts
-                    # from steady pipeline state, as a continuous run
-                    # would have it.
-                    self._run_quota(detail)
-                consumed += gap
+                        # Functional warming rewrites tag arrays in
+                        # place; a detailed fill still in flight from
+                        # the previous interval would land on a
+                        # rewritten set and corrupt the tag index.  Idle
+                        # the cores and complete the pipeline first (the
+                        # queue empties: channels stop ticking once
+                        # reads drain and the write queue is below its
+                        # watermark).
+                        for core in self.cores:
+                            core.pause()
+                        self.engine.run()
+                    for core in self.cores:
+                        if skip:
+                            core.skip_trace(skip)
+                        if warm:
+                            core.warm_up(warm)
+                    if warm:
+                        self._prime_writeback_policy()
+                    if detail:
+                        # Discarded detailed window: refills the ROB,
+                        # MSHRs, and memory queues so the measured
+                        # interval starts from steady pipeline state, as
+                        # a continuous run would have it.
+                        self._run_quota(detail)
+                    consumed += gap
             self.reset_stats()
             start_tick = self.engine.now
             start_events = self.engine.events_fired
             start_acts, start_pres = self._bank_command_totals()
-            if index == last_index:
-                for core in self.cores:
-                    core.reset_measurement(sampling.interval_instructions)
-                    core.start()
-                self._run_phase()
-                core_stats = None
-            else:
-                core_stats = self._run_quota(
-                    sampling.interval_instructions)
+            with telemetry.span(
+                    f"sampling.interval[{index}]",
+                    breakdown=self._phases,
+                    instructions=sampling.interval_instructions):
+                if index == last_index:
+                    for core in self.cores:
+                        core.reset_measurement(
+                            sampling.interval_instructions)
+                        core.start()
+                    self._run_phase()
+                    core_stats = None
+                else:
+                    core_stats = self._run_quota(
+                        sampling.interval_instructions)
             consumed += sampling.interval_instructions
             starts_used.append(start)
             interval_cores = core_stats if core_stats is not None \
@@ -540,8 +575,11 @@ class System:
             starts=starts_used,
             metrics=summarize(values, sampling.confidence),
         )
-        return aggregate_results(intervals, retired, cycles,
-                                 run_label, summary)
+        result = aggregate_results(intervals, retired, cycles,
+                                   run_label, summary)
+        if self._phases is not None:
+            result.phase_breakdown = dict(self._phases)
+        return result
 
     @staticmethod
     def _sampling_done(sampling, ipc_values: List[float]) -> bool:

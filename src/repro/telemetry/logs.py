@@ -1,0 +1,125 @@
+"""Structured logging for the ``repro.*`` logger hierarchy.
+
+Every service, worker, and CLI component logs through a child of the
+``repro`` logger (``repro.service``, ``repro.workers``, ``repro.cli``).
+:func:`configure_logging` is the single switch the CLI flips from
+``--log-level``/``--log-json``: it installs one stderr handler on the
+``repro`` root so records never double-print, and in JSON mode swaps
+the human formatter for :class:`JsonLinesFormatter`, which emits one
+JSON object per line - machine-parseable job-transition records for
+log shippers.
+
+Structured fields ride on the standard-library ``extra=`` mechanism::
+
+    logger.info("job %s -> %s", key, state,
+                extra={"event": "job.transition", "job": key,
+                       "from_state": old, "to_state": state})
+
+The JSON formatter folds any non-standard record attribute into the
+emitted object, so the ``extra`` keys above surface as top-level JSON
+fields without a custom adapter.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional
+
+ROOT_LOGGER = "repro"
+
+#: ``logging.LogRecord`` attributes that are plumbing, not payload.
+_RESERVED = frozenset((
+    "name", "msg", "args", "levelname", "levelno", "pathname",
+    "filename", "module", "exc_info", "exc_text", "stack_info",
+    "lineno", "funcName", "created", "msecs", "relativeCreated",
+    "thread", "threadName", "processName", "process", "message",
+    "taskName", "asctime",
+))
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "iso": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                 time.gmtime(record.created))
+                   + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info and record.exc_info[1] is not None:
+            payload["exc"] = repr(record.exc_info[1])
+        return json.dumps(payload, sort_keys=True)
+
+
+class _LiveStderrHandler(logging.StreamHandler):
+    """A StreamHandler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream once at configure time goes stale whenever the
+    surrounding process swaps ``sys.stderr`` (pytest capture, daemon
+    redirection); emitting to the then-closed object raises inside the
+    logging machinery.  Resolving late always writes to the live one.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self) -> Any:
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value: Any) -> None:  # StreamHandler pokes this
+        pass
+
+
+def configure_logging(level: str = "info", json_lines: bool = False,
+                      stream: Optional[Any] = None) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` root logger.
+
+    Idempotent: reconfiguring replaces the previous handler rather
+    than stacking a second one, so CLI commands can call it freely.
+    Records still propagate upward, so log-capture tooling attached to
+    the root logger (e.g. pytest's ``caplog``) keeps seeing them; the
+    CLI never configures the root logger, so nothing double-prints.
+    Returns the configured root logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(getattr(logging, level.upper(), logging.INFO))
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_handler", False):
+            logger.removeHandler(handler)
+    handler: logging.StreamHandler = (
+        logging.StreamHandler(stream) if stream is not None
+        else _LiveStderrHandler())
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S"))
+    logger.addHandler(handler)
+    logger.propagate = True
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` hierarchy (``get_logger("service")``)."""
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

@@ -1,0 +1,203 @@
+"""Phase tracing: nestable spans exportable as Chrome trace-event JSON.
+
+A *span* is one timed phase of a run - ``warmup.functional``,
+``checkpoint.restore``, ``sampling.interval[3]``, ``measure``,
+``cache.put`` - recorded on the process-wide :class:`Tracer`.  Spans
+nest through a per-thread stack, so a ``cache.get`` inside ``measure``
+renders as a child in Perfetto, and concurrent worker threads never
+interleave each other's stacks.
+
+Exports follow the Chrome trace-event format (the ``traceEvents`` array
+of ``"ph": "X"`` *complete* events with microsecond ``ts``/``dur``),
+which ``chrome://tracing`` and https://ui.perfetto.dev load directly -
+see ``docs/observability.md`` for the walkthrough.
+
+Cost model: the module-level :func:`~repro.telemetry.span` helper checks
+the telemetry flag before touching the tracer, so the disabled hot path
+is a function call returning a shared null context manager.  Enabled
+spans take two ``perf_counter`` reads and one appended record; the
+record list is bounded (:attr:`Tracer.max_events`) so a long-lived
+service cannot leak memory into its tracer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One finished phase: name, wall-clock bounds, nesting depth."""
+
+    __slots__ = ("name", "category", "start", "duration", "depth",
+                 "thread_id", "args")
+
+    def __init__(self, name: str, category: str, start: float,
+                 duration: float, depth: int, thread_id: int,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self.name = name
+        self.category = category
+        self.start = start  # seconds since the tracer's epoch
+        self.duration = duration  # seconds
+        self.depth = depth
+        self.thread_id = thread_id
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, depth={self.depth}, "
+                f"dur={self.duration * 1e3:.3f}ms)")
+
+
+def phase_key(name: str) -> str:
+    """Aggregation key for a span name: indexed phases collapse.
+
+    ``sampling.interval[7]`` -> ``sampling.interval`` so a 100-interval
+    run's breakdown has one ``sampling.interval`` entry, not 100.
+    """
+    bracket = name.find("[")
+    return name[:bracket] if bracket != -1 else name
+
+
+class _SpanContext:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_breakdown", "_args",
+                 "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 breakdown: Optional[Dict[str, float]],
+                 args: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._breakdown = breakdown
+        self._args = args
+
+    def __enter__(self) -> "_SpanContext":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self._name:
+            stack.pop()
+        duration = end - self._start
+        self._tracer._record(
+            Span(self._name, self._category,
+                 self._start - self._tracer.epoch, duration,
+                 self._depth, threading.get_ident(), self._args))
+        if self._breakdown is not None:
+            key = phase_key(self._name)
+            self._breakdown[key] = \
+                self._breakdown.get(key, 0.0) + duration
+
+
+class Tracer:
+    """Thread-safe collector of spans with Chrome trace export."""
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        self.max_events = max_events
+        self.epoch = time.perf_counter()
+        #: Spans dropped after :attr:`max_events` filled up.
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._local = threading.local()
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_events:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    def span(self, name: str, category: str = "run",
+             breakdown: Optional[Dict[str, float]] = None,
+             **args: Any) -> _SpanContext:
+        """Context manager timing one phase.
+
+        ``breakdown`` is an optional dict the span's duration is also
+        accumulated into under :func:`phase_key` - how ``System`` builds
+        the per-run ``phase_breakdown`` without a second pass over the
+        tracer.
+        """
+        return _SpanContext(self, name, category,
+                            breakdown, args or None)
+
+    # -- introspection -------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def reset(self) -> None:
+        """Drop recorded spans and restart the epoch (per-run exports)."""
+        with self._lock:
+            self._spans = []
+            self.dropped = 0
+            self.epoch = time.perf_counter()
+
+    def phase_totals(self, depth: Optional[int] = None
+                     ) -> Dict[str, float]:
+        """Summed seconds per :func:`phase_key`, optionally one depth.
+
+        ``depth=0`` gives the top-level breakdown whose total tracks the
+        run's wall-clock (children re-count their parents' time).
+        """
+        totals: Dict[str, float] = {}
+        for span in self.spans():
+            if depth is not None and span.depth != depth:
+                continue
+            key = phase_key(span.name)
+            totals[key] = totals.get(key, 0.0) + span.duration
+        return totals
+
+    def export_chrome(self) -> Dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object.
+
+        ``traceEvents`` holds one complete (``"ph": "X"``) event per
+        span with microsecond timestamps relative to the tracer epoch;
+        Perfetto reconstructs nesting from ``ts``/``dur`` per thread.
+        """
+        pid = os.getpid()
+        events = []
+        for span in sorted(self.spans(),
+                           key=lambda s: (s.start, -s.duration)):
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid,
+                "tid": span.thread_id % 1_000_000,
+            }
+            if span.args:
+                event["args"] = dict(span.args)
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.telemetry",
+                          "dropped_spans": self.dropped},
+        }
+
+
+#: The process-wide tracer hot-path spans record into.
+TRACER = Tracer()

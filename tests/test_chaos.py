@@ -236,8 +236,10 @@ class TestClientChaos:
                                      on_progress=seen.append)
             # wait() returns (not raises) for degraded grids.
             assert status["state"] == "degraded"
-            assert status["progress"] == {"completed": 1, "total": 2}
+            assert status["progress"] == {
+                "completed": 1, "quarantined": 1, "total": 2}
             assert seen and seen[-1]["progress"]["completed"] == 1
+            assert seen[-1]["progress"]["quarantined"] == 1
             result = client.result(ticket["grid_id"],
                                    metrics=["mean_ipc"])
             assert len(result["records"]) == 1  # partial, not poisoned
