@@ -29,6 +29,11 @@ simulation, so this gate is host-independent; see ``docs/sampling.md``).
 ``--check-telemetry PCT`` gates the telemetry layer's enabled-vs-disabled
 overhead on the write-stream scenario (both legs measured in the same
 invocation; see ``docs/observability.md``).
+``--check-adaptive R`` gates the ``adaptive_grid`` scenario: the
+adaptive orchestrator must spend at least ``R`` times fewer detailed
+instructions than the exhaustive grid *and* crown the same winners
+(both facts are deterministic in the simulation, so this gate is
+host-independent; see ``docs/adaptive.md``).
 """
 
 from __future__ import annotations
@@ -94,6 +99,16 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-telemetry-scenario", action="store_true",
                         dest="skip_telemetry",
                         help="skip the telemetry-overhead measurement")
+    parser.add_argument("--skip-adaptive-scenario", action="store_true",
+                        dest="skip_adaptive",
+                        help="skip the exhaustive-vs-adaptive grid "
+                             "scenario")
+    parser.add_argument("--check-adaptive", type=float, metavar="RATIO",
+                        dest="check_adaptive", default=None,
+                        help="fail unless adaptive orchestration spends "
+                             ">= RATIO x fewer detailed instructions "
+                             "than the exhaustive grid while crowning "
+                             "the same winners")
     parser.add_argument("--check-telemetry", type=float, metavar="PCT",
                         dest="check_telemetry", default=None,
                         help="fail if enabling telemetry costs more than "
@@ -101,9 +116,11 @@ def main(argv=None) -> int:
                              "scenario")
     args = parser.parse_args(argv)
 
-    from repro.perf import SAMPLING_SCENARIO, SCENARIOS, WARMUP_SCENARIO, \
-        bench_report, measure_sampling_scenario, measure_scenario, \
-        measure_telemetry_overhead, measure_warmup_scenario
+    from repro.perf import ADAPTIVE_SCENARIO, SAMPLING_SCENARIO, \
+        SCENARIOS, WARMUP_SCENARIO, bench_report, \
+        measure_adaptive_scenario, measure_sampling_scenario, \
+        measure_scenario, measure_telemetry_overhead, \
+        measure_warmup_scenario
 
     mode = "quick" if args.quick else "full"
     entries = []
@@ -163,10 +180,29 @@ def main(argv=None) -> int:
               + ", ".join(f"{phase}={seconds}s" for phase, seconds
                           in telemetry_entry["phase_breakdown"].items()))
 
+    adaptive_entry = None
+    if not args.skip_adaptive:
+        ads = ADAPTIVE_SCENARIO
+        print(f"[{ads.name}] {list(ads.workloads)} x {list(ads.policies)} "
+              f"grid on {ads.metric}, exhaustive vs adaptive ({mode}) "
+              f"...", flush=True)
+        # One repeat by default: the exhaustive leg is deliberately
+        # expensive, and the savings/winner figures are deterministic.
+        adaptive_entry = measure_adaptive_scenario(quick=args.quick,
+                                                   repeats=1)
+        print(f"  exhaustive {adaptive_entry['exhaustive_seconds']}s vs "
+              f"adaptive {adaptive_entry['adaptive_seconds']}s "
+              f"-> {adaptive_entry['speedup_vs_exhaustive']}x wall, "
+              f"{adaptive_entry['instruction_savings_x']}x fewer "
+              f"instructions ({adaptive_entry['rounds']} rounds, "
+              f"{adaptive_entry['pruned']} pruned, winners "
+              f"{'match' if adaptive_entry['winners_match'] else 'DIFFER'})")
+
     report = bench_report(entries, mode=mode, repeats=args.repeats,
                           baseline=_load_baseline(), warmup=warmup_entry,
                           sampling=sampling_entry,
-                          telemetry=telemetry_entry)
+                          telemetry=telemetry_entry,
+                          adaptive=adaptive_entry)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     gm = report["geomean_events_per_sec"]
     print(f"geomean: {gm:,} events/sec -> {args.output}")
@@ -228,6 +264,21 @@ def main(argv=None) -> int:
                   f"{args.check_telemetry}%", file=sys.stderr)
             return 1
         print(f"PASS: telemetry overhead <= {args.check_telemetry}%")
+    if args.check_adaptive is not None:
+        if adaptive_entry is None:
+            print("--check-adaptive requested but the adaptive scenario "
+                  "was skipped", file=sys.stderr)
+            return 2
+        if not adaptive_entry["winners_match"]:
+            print("FAIL: adaptive orchestration crowned different "
+                  "winners than the exhaustive grid", file=sys.stderr)
+            return 1
+        if adaptive_entry["instruction_savings_x"] < args.check_adaptive:
+            print(f"FAIL: adaptive scenario "
+                  f"{adaptive_entry['instruction_savings_x']}x < "
+                  f"required {args.check_adaptive}x", file=sys.stderr)
+            return 1
+        print(f"PASS: adaptive >= {args.check_adaptive}x, winners match")
     return 0
 
 

@@ -21,6 +21,7 @@ optionally parallel), and query the results::
 Single runs stay one call: ``run_workload(small_8core(), "lbm")``.
 """
 
+from repro.adaptive import AdaptivePolicy, AdaptiveReport
 from repro.config import (
     CacheConfig,
     DramConfig,
@@ -65,6 +66,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_WORKLOADS",
+    "AdaptivePolicy",
+    "AdaptiveReport",
     "Axis",
     "BLPTracker",
     "BardPolicy",

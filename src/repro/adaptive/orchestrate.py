@@ -1,0 +1,59 @@
+"""The local adaptive loop: planner rounds driven through a Session.
+
+:func:`orchestrate` is what
+:meth:`~repro.experiment.session.Session.run_adaptive` delegates to.
+Each planner round becomes an ordinary :class:`RunPlan` executed by the
+session, so every run flows through the same memo / disk cache / warm
+checkpoint machinery as an exhaustive grid - refinement rounds of one
+warm group restore the survey round's snapshot instead of re-warming,
+and re-running the same (grid, policy) resumes from cached rounds.
+
+The service path (:meth:`ExperimentService.submit_adaptive`) drives the
+identical planner over the durable queue instead; see
+:mod:`repro.adaptive.planner` for why the two paths cannot diverge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+from repro.adaptive.planner import AdaptivePlanner
+from repro.adaptive.policy import AdaptivePolicy
+from repro.experiment.resultset import Observation, ResultSet
+from repro.experiment.spec import ExperimentSpec, GridPoint, RunPlan
+from repro.sim.results import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiment.session import ProgressFn, Session
+
+
+def orchestrate(session: "Session",
+                experiment: Union[ExperimentSpec, RunPlan],
+                policy: AdaptivePolicy,
+                progress: "Optional[ProgressFn]" = None) -> ResultSet:
+    """Run the grid adaptively on ``session``; see ``run_adaptive``."""
+    plan = experiment.expand() \
+        if isinstance(experiment, ExperimentSpec) else experiment
+    planner = AdaptivePlanner(plan, policy)
+    results: Dict[str, RunResult] = {}
+    specs = planner.start()
+    while specs:
+        coords = {cell.key: dict(cell.coords)
+                  for cell in planner.cells.values()}
+        round_plan = RunPlan(None, [
+            GridPoint(coords=coords[key], spec=spec)
+            for key, spec in specs.items()])
+        round_rs = session.run(round_plan, progress=progress)
+        for obs in round_rs:
+            results[obs.spec.key()] = obs.result
+        specs = planner.advance(results)
+
+    report = planner.report()
+    final_specs = planner.final_specs()
+    observations = []
+    for point in plan.points:
+        spec = final_specs[point.spec.key()]
+        observations.append(Observation(
+            coords=point.coords, spec=spec, result=results[spec.key()]))
+    name = plan.spec.name if plan.spec is not None else ""
+    return ResultSet(observations, name=name, adaptive=report)

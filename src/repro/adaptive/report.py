@@ -1,0 +1,134 @@
+"""Decision records of an adaptive orchestration.
+
+Every grid cell ends with a :class:`CellDecision` - how many rounds it
+ran, what they cost, why it stopped, and its final estimate - and the
+whole grid with an :class:`AdaptiveReport` aggregating them plus the
+per-group winners.  Reports ride on the returned
+:class:`~repro.experiment.resultset.ResultSet` (``rs.adaptive``), in the
+service's grid records and result envelopes, and in the CLI's
+``--json`` output; both classes round-trip JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Stop reasons a cell can retire with (see ``docs/adaptive.md``).
+STOP_REASONS = (
+    "target-met",    # relative error reached the policy target
+    "decided",       # its comparison group's ranking is unambiguous
+    "dominated",     # pruned: CI strictly below the group leader's
+    "escalated",     # re-ran at full detail; the estimate is exact
+    "interval-cap",  # out of intervals and escalation is "stop"
+    "budget",        # refinement denied: it would overdraw the budget
+    "max-rounds",    # per-cell round cap reached
+    "quarantined",   # service path: the cell's run was dead-lettered
+)
+
+
+@dataclass(frozen=True)
+class CellDecision:
+    """One grid cell's journey through the adaptive rounds."""
+
+    #: Run key of the cell's *original* (pre-refinement) spec - the
+    #: stable identity linking the decision back to the submitted grid.
+    cell: str
+    label: str
+    coords: Dict[str, Any]
+    #: Decision-group anchor (every coordinate except the compare axis).
+    group: str
+    #: This cell's value of the compare axis.
+    value: str
+    rounds: int
+    #: Final interval count (``None`` after escalation to full detail).
+    intervals: Optional[int]
+    escalated: bool
+    pruned: bool
+    #: Why refinement stopped - one of :data:`STOP_REASONS`.
+    stop: str
+    #: Detailed instructions this cell consumed across all its rounds.
+    instructions: int
+    #: Final estimate of the decision metric (mean and CI bounds; the
+    #: CI is degenerate for escalated cells, whose estimate is exact).
+    mean: float = 0.0
+    ci_lo: float = 0.0
+    ci_hi: float = 0.0
+    rel_error: float = 0.0
+    #: Run key of the final (highest-fidelity) execution.
+    final_key: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellDecision":
+        return cls(**{f: data[f] for f in cls.__dataclass_fields__
+                      if f in data})
+
+
+@dataclass(frozen=True)
+class AdaptiveReport:
+    """What an adaptive orchestration decided and what it cost.
+
+    ``rounds``/``escalations``/``pruned``/``instructions_spent``/
+    ``instructions_saved`` reconcile exactly with the registry counters
+    (``repro_adaptive_*``) the run incremented - the planner bumps both
+    from the same events.
+    """
+
+    policy: Dict[str, Any]
+    cells: Tuple[CellDecision, ...]
+    #: Total cell-rounds executed (the sum of every cell's ``rounds``).
+    rounds: int
+    escalations: int
+    pruned: int
+    #: Detailed instructions actually simulated across all rounds.
+    instructions_spent: int
+    #: What the same grid costs at exhaustive full detail
+    #: (``cores x sim_instructions`` per cell).
+    instructions_full: int
+    #: Winning compare-axis value per decision group (groups whose
+    #: comparison ended without a usable estimate are absent).
+    winners: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def instructions_saved(self) -> int:
+        """Budget left unspent versus the exhaustive full-detail grid."""
+        return max(0, self.instructions_full - self.instructions_spent)
+
+    @property
+    def savings_pct(self) -> float:
+        """``instructions_saved`` as a percentage of the full grid."""
+        if self.instructions_full <= 0:
+            return 0.0
+        return 100.0 * self.instructions_saved / self.instructions_full
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": dict(self.policy),
+            "cells": [cell.to_dict() for cell in self.cells],
+            "rounds": self.rounds,
+            "escalations": self.escalations,
+            "pruned": self.pruned,
+            "instructions_spent": self.instructions_spent,
+            "instructions_full": self.instructions_full,
+            "instructions_saved": self.instructions_saved,
+            "savings_pct": round(self.savings_pct, 3),
+            "winners": dict(self.winners),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdaptiveReport":
+        return cls(
+            policy=dict(data.get("policy", {})),
+            cells=tuple(CellDecision.from_dict(c)
+                        for c in data.get("cells", [])),
+            rounds=int(data.get("rounds", 0)),
+            escalations=int(data.get("escalations", 0)),
+            pruned=int(data.get("pruned", 0)),
+            instructions_spent=int(data.get("instructions_spent", 0)),
+            instructions_full=int(data.get("instructions_full", 0)),
+            winners={str(k): str(v)
+                     for k, v in data.get("winners", {}).items()},
+        )

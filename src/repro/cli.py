@@ -7,7 +7,8 @@ Commands
 ``compare``        one workload under several writeback policies
 ``characterize``   Table IV-style characterization of several workloads
 ``sweep``          grid sweep over arbitrary axes (workloads x policies
-                   x seeds x any registered config axis)
+                   x seeds x any registered config axis); ``--adaptive``
+                   orchestrates the grid budget-aware (docs/adaptive.md)
 ``sweep-wq``       write-queue size sweep (paper Fig. 17)
 ``list``           available workloads, policies, presets, and axes
 ``serve``          run the long-running experiment service (HTTP API)
@@ -37,6 +38,8 @@ Examples::
     python -m repro characterize lbm copy cf whiskey --parallel 4
     python -m repro sweep --workloads lbm copy --axis wq=32,48,64 \\
         --axis policy=baseline,bard-h --speedup-vs policy
+    python -m repro sweep --workloads lbm copy --sample 4 \\
+        --axis policy=baseline,bard-h --adaptive --adaptive-error 2
     python -m repro sweep-wq --workloads lbm copy --sizes 32 48 64
     python -m repro serve --port 8023 --workers 4
     python -m repro submit --workloads lbm --axis policy=baseline,bard-h \\
@@ -172,18 +175,24 @@ def _progress_fn(args):
     return None
 
 
-def _emit_json(rs: ResultSet, session: Session, metrics=()) -> None:
+def _emit_json(rs: ResultSet, session: Session, metrics=(),
+               adaptive=None) -> None:
     """Records plus the session's accounting, one JSON object.
 
     The ``stats`` block mirrors what the experiment service reports for
     a grid, so scripted consumers see the same accounting whether a run
-    executed locally or through ``repro submit``.
+    executed locally or through ``repro submit``.  Adaptive sweeps add
+    an ``adaptive`` block (the AdaptiveReport), matching the service
+    result envelope's ``report``.
     """
-    print(json.dumps({
+    envelope = {
         "name": rs.name,
         "records": rs.to_records(metrics),
         "stats": dataclasses.asdict(session.stats),
-    }, indent=2))
+    }
+    if adaptive is not None:
+        envelope["adaptive"] = adaptive.to_dict()
+    print(json.dumps(envelope, indent=2))
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -237,6 +246,80 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         help="adaptive sampling: keep adding intervals "
                              "until the mean-IPC CI half-width is within "
                              "PCT%% of the mean")
+
+
+def _add_adaptive_args(parser: argparse.ArgumentParser) -> None:
+    """Grid-level adaptive-orchestration flags (see docs/adaptive.md)."""
+    parser.add_argument("--adaptive", action="store_true",
+                        help="orchestrate the grid adaptively: survey "
+                             "every cell with cheap sampling, then spend "
+                             "refinement rounds only on cells whose CIs "
+                             "still straddle the decision boundary "
+                             "(see docs/adaptive.md)")
+    parser.add_argument("--adaptive-error", dest="adaptive_error",
+                        type=float, default=5.0, metavar="PCT",
+                        help="per-cell target relative CI half-width "
+                             "(default 5%%)")
+    parser.add_argument("--adaptive-budget", dest="adaptive_budget",
+                        type=int, metavar="N",
+                        help="hard cap on detailed instructions spent "
+                             "across the grid (default: unbounded)")
+    parser.add_argument("--adaptive-metric", dest="adaptive_metric",
+                        default="mean_ipc",
+                        help="decision metric, one of the sampled "
+                             "metrics (default mean_ipc)")
+    parser.add_argument("--adaptive-axis", dest="adaptive_axis",
+                        default="policy",
+                        help="axis the comparison is decided along; "
+                             "dominated values are pruned early "
+                             "(default policy)")
+    parser.add_argument("--adaptive-rounds", dest="adaptive_rounds",
+                        type=int, default=4, metavar="N",
+                        help="max refinement rounds per cell (default 4)")
+    parser.add_argument("--adaptive-start", dest="adaptive_start",
+                        type=int, default=4, metavar="N",
+                        help="interval count of the survey pass "
+                             "(default 4)")
+
+
+def _adaptive_policy(args):
+    """The AdaptivePolicy from ``--adaptive*`` flags, or None."""
+    if not getattr(args, "adaptive", False):
+        return None
+    from repro.adaptive import AdaptivePolicy
+
+    if args.adaptive_error <= 0:
+        raise ConfigError("--adaptive-error must be positive")
+    return AdaptivePolicy(
+        metric=args.adaptive_metric,
+        target_relative_error=args.adaptive_error / 100.0,
+        budget_instructions=args.adaptive_budget,
+        max_rounds=args.adaptive_rounds,
+        start_intervals=args.adaptive_start,
+        compare_axis=args.adaptive_axis)
+
+
+def _render_adaptive(report) -> None:
+    """Human-readable decision summary under the sweep/submit table."""
+    rows = []
+    for cell in report.cells:
+        fidelity = "full" if cell.intervals is None \
+            else f"{cell.intervals} ivs"
+        estimate = f"{cell.mean:.3f} " \
+                   f"[{cell.ci_lo:.3f}, {cell.ci_hi:.3f}]"
+        rows.append((cell.label, cell.value, cell.rounds, fidelity,
+                     f"{cell.instructions:,}", cell.stop, estimate))
+    print(format_table(
+        ["cell", report.policy.get("compare_axis", "policy"), "rounds",
+         "fidelity", "instructions", "stop", report.policy["metric"]],
+        rows, title="adaptive decisions"))
+    print(f"adaptive: {report.rounds} cell-rounds, "
+          f"{report.escalations} escalated, {report.pruned} pruned; "
+          f"spent {report.instructions_spent:,} of "
+          f"{report.instructions_full:,} full-detail instructions "
+          f"({report.savings_pct:.1f}% saved)")
+    for group, value in sorted(report.winners.items()):
+        print(f"  winner [{group}]: {value}")
 
 
 def _add_logging_args(parser: argparse.ArgumentParser) -> None:
@@ -386,13 +469,19 @@ def _cmd_sweep(args) -> int:
         speedup = (axis, baseline)
 
     session = _session(args)
-    rs = session.run(plan, progress=_progress_fn(args))
+    policy = _adaptive_policy(args)
+    if policy is not None:
+        rs = session.run_adaptive(plan, policy,
+                                  progress=_progress_fn(args))
+    else:
+        rs = session.run(plan, progress=_progress_fn(args))
+    report = rs.adaptive
     if speedup is not None:
         rs = rs.speedup_vs(*speedup)
         if "speedup_pct" not in metrics:
             metrics.append("speedup_pct")
     if args.json:
-        _emit_json(rs, session, metrics)
+        _emit_json(rs, session, metrics, adaptive=report)
         return 0
     axis_names = list(rs[0].coords) if len(rs) else []
     rows = [
@@ -402,6 +491,8 @@ def _cmd_sweep(args) -> int:
     ]
     print(format_table(axis_names + metrics, rows,
                        title=f"sweep ({len(rs)} points)"))
+    if report is not None:
+        _render_adaptive(report)
     return 0
 
 
@@ -501,6 +592,7 @@ def _cmd_submit(args) -> int:
             raise ConfigError(
                 f"metric {name!r} is baseline-relative; fetch records "
                 f"and compute speedups client-side")
+    policy = _adaptive_policy(args)
     client = ServiceClient(args.server, timeout=args.timeout)
 
     def _wait_progress(status):
@@ -512,8 +604,9 @@ def _cmd_submit(args) -> int:
                              grid_id=status.get("grid_id", "")))
 
     try:
-        ticket = client.submit(spec, tenant=args.tenant,
-                               priority=args.priority)
+        ticket = client.submit(
+            spec, tenant=args.tenant, priority=args.priority,
+            adaptive=policy.to_dict() if policy is not None else None)
         if args.no_wait:
             print(json.dumps(ticket, indent=2))
             return 0
@@ -554,6 +647,9 @@ def _cmd_submit(args) -> int:
           f"{stats['store_hits']} store hits, "
           f"{stats['inflight_dedup']} shared in-flight "
           f"of {stats['unique_runs']} unique runs")
+    if result.get("report"):
+        from repro.adaptive import AdaptiveReport
+        _render_adaptive(AdaptiveReport.from_dict(result["report"]))
     if result.get("quarantined"):
         print(f"warning: grid degraded - {result['quarantined']} "
               f"run(s) quarantined after repeated failures; inspect "
@@ -819,6 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="AXIS[=LABEL]",
                       help="also report speedup vs a baseline along AXIS "
                            "(default label: baseline)")
+    _add_adaptive_args(p_sw)
     _add_common(p_sw)
     p_sw.set_defaults(fn=_cmd_sweep)
 
@@ -903,6 +1000,7 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS", help="status poll interval")
     p_sub.add_argument("--json", action="store_true",
                        help="emit the result envelope as JSON")
+    _add_adaptive_args(p_sub)
     _add_config_args(p_sub)
     _add_logging_args(p_sub)
     p_sub.set_defaults(fn=_cmd_submit)

@@ -18,7 +18,8 @@ member.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Tuple
+from typing import Callable, Iterator, List, MutableMapping, Optional, \
+    Tuple
 
 from repro import telemetry
 from repro.experiment.spec import RunSpec
@@ -47,7 +48,9 @@ def simulate(spec: RunSpec) -> RunResult:
 
 
 def iter_group(items: List[KeyedSpec],
-               simulate_fn: SimulateFn = simulate) -> Iterator[GroupItem]:
+               simulate_fn: SimulateFn = simulate,
+               snapshots: Optional[MutableMapping[str, object]] = None,
+               group_key: Optional[str] = None) -> Iterator[GroupItem]:
     """Execute one warm-sharing group, yielding each member as it finishes.
 
     The first member executes the (functional) warmup and snapshots the
@@ -57,17 +60,24 @@ def iter_group(items: List[KeyedSpec],
     results stream out - an interrupt after member *k* loses nothing
     already yielded.
 
-    ``simulate_fn`` is only consulted for singleton groups (the common
-    case for detailed-warmup runs); shared groups drive the
-    snapshot/restore machinery directly.
+    ``snapshots`` (with its ``group_key``) opts into *cross-call*
+    checkpoint reuse: the group's warm snapshot is looked up in - and
+    stored into - the mapping, so a later call for the same warm group
+    (an adaptive refinement round re-planning the same runs at higher
+    fidelity) restores instead of re-warming.  Restored runs are
+    bit-identical to freshly warmed ones, so this never changes results.
+    Without ``snapshots``, ``simulate_fn`` is consulted for singleton
+    groups (the common case for detailed-warmup runs) and shared groups
+    drive the snapshot/restore machinery directly.
     """
-    if len(items) == 1:
+    share = snapshots is not None and group_key is not None
+    if len(items) == 1 and not share:
         key, spec = items[0]
         warmups = 1 if spec.config.warmup_instructions > 0 else 0
         faults.trip("simulate", key)
         yield key, simulate_fn(spec), warmups, 0
         return
-    snapshot = None
+    snapshot = snapshots.get(group_key) if share else None
     for key, spec in items:
         faults.trip("simulate", key)
         with telemetry.span("simulate", workload=spec.workload,
@@ -78,6 +88,8 @@ def iter_group(items: List[KeyedSpec],
             if snapshot is None:
                 snapshot = system.snapshot_warm_state()
                 warmups, restores = 1, 0
+                if share:
+                    snapshots[group_key] = snapshot
             else:
                 system.restore_warm_state(snapshot)
                 warmups, restores = 0, 1

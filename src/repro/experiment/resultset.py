@@ -102,18 +102,19 @@ class Observation:
         return self.result.sampling is not None
 
     def ci(self, metric: str) -> Tuple[float, float]:
-        """The metric's ``(lo, hi)`` confidence interval (sampled runs).
+        """The metric's ``(lo, hi)`` confidence interval.
 
-        Raises :class:`ValueError` for full (unsampled) observations and
-        for metrics the sampling summary does not cover.
+        Full (unsampled) observations - e.g. adaptive escalations
+        sitting next to sampled cells in a mixed grid - report a
+        degenerate ``(value, value)`` interval: their measurement is
+        exact, not missing.  Metrics a *sampled* summary does not cover
+        still raise :class:`ValueError`.
         """
         if not valid_metric(metric):
             raise _unknown_metric(metric)
         if self.result.sampling is None:
-            raise ValueError(
-                f"no confidence interval for {metric!r}: "
-                f"{self.spec.label or self.spec.workload!r} is a full "
-                f"(unsampled) run")
+            value = self.value(metric)
+            return value, value
         return self.result.sampling.ci(metric)
 
     def error_bar(self, metric: str) -> float:
@@ -130,9 +131,17 @@ class ResultSet:
     """An ordered, filterable collection of observations."""
 
     def __init__(self, observations: Iterable[Observation],
-                 name: str = "") -> None:
+                 name: str = "", adaptive: Optional[object] = None
+                 ) -> None:
         self.observations: Tuple[Observation, ...] = tuple(observations)
         self.name = name
+        #: The :class:`~repro.adaptive.report.AdaptiveReport` when this
+        #: set came from an adaptive orchestration (``None`` otherwise).
+        #: Carried only on the set the orchestration returned - derived
+        #: sets (``filter``, ``speedup_vs``, ``group_by``) describe a
+        #: subset the grid-level report no longer matches, so they do
+        #: not inherit it.
+        self.adaptive = adaptive
 
     # -- container protocol --------------------------------------------
 
@@ -269,8 +278,10 @@ class ResultSet:
     def ci(self, metric: str) -> Tuple[float, float]:
         """``(lo, hi)`` confidence interval of the single observation.
 
-        Filter down to one observation first (like :meth:`only`); the
-        observation must come from a sampled run.
+        Filter down to one observation first (like :meth:`only`).  Full
+        (unsampled) observations report a degenerate ``(value, value)``
+        interval, so mixed grids - sampled cells next to full-detail
+        escalations - degrade gracefully.
         """
         return self.only().ci(metric)
 
@@ -313,9 +324,10 @@ class ResultSet:
 
 def from_points(points: Sequence[GridPoint],
                 results: Mapping[str, RunResult],
-                name: str = "") -> ResultSet:
+                name: str = "",
+                adaptive: Optional[object] = None) -> ResultSet:
     """Assemble a ResultSet from plan points and keyed results."""
     return ResultSet(
         (Observation(coords=p.coords, spec=p.spec,
                      result=results[p.spec.key()]) for p in points),
-        name=name)
+        name=name, adaptive=adaptive)

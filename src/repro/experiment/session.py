@@ -23,7 +23,8 @@ from __future__ import annotations
 import multiprocessing
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, \
+    Optional, Tuple, Union
 
 from repro import telemetry
 from repro.config.system import SystemConfig
@@ -35,6 +36,9 @@ from repro.experiment.resultset import ResultSet, from_points
 from repro.experiment.spec import ExperimentSpec, RunPlan, RunSpec, \
     warm_group_key
 from repro.sim.results import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.adaptive.policy import AdaptivePolicy
 
 ProgressFn = Callable[[int, int, RunSpec], None]
 
@@ -105,6 +109,11 @@ class Session:
         self.checkpoints = checkpoints
         self.stats = SessionStats()
         self._memo: Dict[str, RunResult] = {}
+        #: Warm-state snapshots kept across run() calls (serial path
+        #: only - snapshots never cross process boundaries), so e.g.
+        #: adaptive refinement rounds restore a group's checkpoint
+        #: instead of re-warming it every round.
+        self._snapshots: Dict[str, object] = {}
 
     # -- plan execution ------------------------------------------------
 
@@ -165,14 +174,40 @@ class Session:
 
         return from_points(plan.points, self._memo, name=name)
 
-    def _warm_groups(self,
-                     missing: List[KeyedSpec]) -> List[List[KeyedSpec]]:
+    def run_adaptive(self, experiment: Union[ExperimentSpec, RunPlan],
+                     policy: "AdaptivePolicy",
+                     progress: Optional[ProgressFn] = None) -> ResultSet:
+        """Execute the grid adaptively: cheap survey, targeted refinement.
+
+        Every unique run first executes as a cheap sampled pass
+        (``policy.start_intervals`` intervals), then only cells whose
+        confidence intervals still straddle a decision boundary earn
+        more budget - higher interval counts via
+        :meth:`~repro.experiment.spec.RunSpec.refine`, or escalation to
+        a full-detail run - while dominated cells are pruned early.
+        Rounds run through the ordinary :meth:`run` path, so caching,
+        dedup, warm-checkpoint sharing, and telemetry apply unchanged.
+
+        Returns a :class:`~repro.experiment.resultset.ResultSet` shaped
+        like the original grid whose observations carry each cell's
+        *final* (highest-fidelity) run, with the
+        :class:`~repro.adaptive.report.AdaptiveReport` attached as
+        ``rs.adaptive``.
+        """
+        from repro.adaptive.orchestrate import orchestrate
+
+        return orchestrate(self, experiment, policy, progress=progress)
+
+    def _warm_groups(
+        self, missing: List[KeyedSpec],
+    ) -> List[Tuple[Optional[str], List[KeyedSpec]]]:
         """Partition work items into warm-checkpoint-sharing groups.
 
         Runs that cannot share (detailed warmup, zero warmup, or
-        ``checkpoints=False``) become singleton groups; shareable runs
-        group by :func:`warm_group_key`.  First-seen plan order is
-        preserved within and across groups.
+        ``checkpoints=False``) become singleton groups with a ``None``
+        group key; shareable runs group by :func:`warm_group_key` and
+        carry it, so the serial path can reuse snapshots across calls.
+        First-seen plan order is preserved within and across groups.
 
         Whole groups are dispatched to one pool worker, so with few
         groups and many workers the pool would idle; in that case the
@@ -187,14 +222,17 @@ class Session:
             groups.setdefault(
                 group_key if group_key is not None else ("solo", key),
                 []).append((key, spec))
-        chunks = list(groups.values())
+        chunks = [(gk if isinstance(gk, str) else None, members)
+                  for gk, members in groups.items()]
         while len(chunks) < min(self.parallel, len(missing)):
-            largest = max(range(len(chunks)), key=lambda i: len(chunks[i]))
-            group = chunks[largest]
+            largest = max(range(len(chunks)),
+                          key=lambda i: len(chunks[i][1]))
+            group_key, group = chunks[largest]
             if len(group) < 2:
                 break
             mid = (len(group) + 1) // 2
-            chunks[largest:largest + 1] = [group[:mid], group[mid:]]
+            chunks[largest:largest + 1] = [(group_key, group[:mid]),
+                                           (group_key, group[mid:])]
         return chunks
 
     def _execute(
@@ -207,16 +245,18 @@ class Session:
         if workers <= 1:
             # Stream member-by-member (not group-by-group) so an
             # interrupt mid-group keeps every member already finished.
-            for group in groups:
+            for group_key, group in groups:
                 for key, result, warmed, restored in \
-                        iter_group(group, simulate):
+                        iter_group(group, simulate,
+                                   snapshots=self._snapshots,
+                                   group_key=group_key):
                     self.stats.warmups_executed += warmed
                     self.stats.checkpoint_restores += restored
                     yield key, result
             return
         with multiprocessing.Pool(processes=workers) as pool:
             for pairs, warmups, restores in pool.imap_unordered(
-                    simulate_group, groups):
+                    simulate_group, [g for _, g in groups]):
                 self.stats.warmups_executed += warmups
                 self.stats.checkpoint_restores += restores
                 yield from pairs

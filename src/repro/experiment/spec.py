@@ -101,6 +101,45 @@ class RunSpec:
             "config": dataclasses.asdict(self.config),
         }
 
+    def refine(self, intervals: Optional[int] = None,
+               full: bool = False) -> "RunSpec":
+        """Re-plan this run's measurement at a higher fidelity.
+
+        ``refine(intervals=n)`` returns a copy measuring ``n`` sampled
+        intervals (building on the config's own sampling plan, or the
+        defaults for a full-detail spec); ``refine(full=True)`` escalates
+        to an unsampled full-detail measurement.  Workload, seed, label,
+        and every warmup-relevant knob are preserved - and sampling is
+        excluded from :func:`~repro.sim.warmstate.warm_config_signature`
+        - so the refined run stays in the original's warm-checkpoint
+        group and reuses its snapshot instead of re-warming.
+
+        The returned spec has a different content hash (sampling is part
+        of the run key), so each refinement round is cached, deduplicated,
+        and queued as its own run.
+        """
+        from repro.sampling.config import SamplingConfig
+
+        if full:
+            if intervals is not None:
+                raise ConfigError(
+                    "refine(full=True) does not take an interval count")
+            return dataclasses.replace(
+                self, config=self.config.with_sampling(None))
+        if intervals is None or intervals < 1:
+            raise ConfigError(
+                f"refine() needs intervals >= 1 or full=True "
+                f"(got intervals={intervals!r})")
+        base = self.config.sampling if self.config.sampling is not None \
+            else SamplingConfig()
+        config = self.config
+        if config.warmup_mode != "functional":
+            # The sampler requires functional warmup; the spec keeps its
+            # warmup budget so only the warm-state *mode* changes.
+            config = config.with_warmup_mode("functional")
+        return dataclasses.replace(
+            self, config=config.with_sampling(base.fixed(intervals)))
+
 
 def warm_group_key(spec: RunSpec) -> Optional[str]:
     """Checkpoint-sharing key, or None when this run cannot share warmup.

@@ -17,16 +17,20 @@ runs whose statistics are pinned bit-for-bit.
 """
 
 from repro.perf.scenarios import (
+    ADAPTIVE_SCENARIO,
     BENCH_SCHEMA,
     GOLDEN_SIM_INSTRUCTIONS,
     GOLDEN_WARMUP_INSTRUCTIONS,
     SAMPLING_SCENARIO,
     SCENARIOS,
     WARMUP_SCENARIO,
+    AdaptiveScenario,
     PerfScenario,
     SamplingScenario,
     WarmupScenario,
+    adaptive_scenario_configs,
     bench_report,
+    measure_adaptive_scenario,
     measure_sampling_scenario,
     measure_scenario,
     measure_telemetry_overhead,
@@ -37,16 +41,20 @@ from repro.perf.scenarios import (
 )
 
 __all__ = [
+    "ADAPTIVE_SCENARIO",
     "BENCH_SCHEMA",
     "GOLDEN_SIM_INSTRUCTIONS",
     "GOLDEN_WARMUP_INSTRUCTIONS",
     "SAMPLING_SCENARIO",
     "SCENARIOS",
     "WARMUP_SCENARIO",
+    "AdaptiveScenario",
     "PerfScenario",
     "SamplingScenario",
     "WarmupScenario",
+    "adaptive_scenario_configs",
     "bench_report",
+    "measure_adaptive_scenario",
     "measure_sampling_scenario",
     "measure_scenario",
     "measure_telemetry_overhead",

@@ -44,6 +44,17 @@ A fifth tracks the sampled-simulation subsystem (``docs/sampling.md``):
     workload averages) and per-point worst case.  The simulation is
     deterministic, so the error figures are host-independent constants -
     exactly what a fidelity gate wants.
+
+A sixth tracks adaptive grid orchestration (``docs/adaptive.md``):
+
+``adaptive_grid``
+    A decisive two-policy grid run twice - exhaustively at full detail,
+    and through ``Session.run_adaptive`` deciding on write BLP.  Reports
+    wall seconds per leg, the instruction-budget ratio
+    (``instruction_savings_x`` = exhaustive detailed instructions over
+    what the orchestrator actually spent), and whether both legs crowned
+    the same winners.  The planner is deterministic, so the savings
+    ratio and winner agreement are host-independent constants.
 """
 
 from __future__ import annotations
@@ -208,6 +219,52 @@ def sampling_scenario_configs(
                    sim_instructions=sim)
     sampled = base.with_warmup_mode("functional").with_sampling(sampling)
     return base, sampled
+
+
+@dataclass(frozen=True)
+class AdaptiveScenario:
+    """The adaptive-orchestration scenario: exhaustive vs adaptive grid."""
+
+    name: str
+    workloads: Tuple[str, ...]
+    preset: str
+    policies: Tuple[str, ...]
+    metric: str
+    description: str
+
+
+ADAPTIVE_SCENARIO = AdaptiveScenario(
+    name="adaptive_grid",
+    workloads=("copy", "lbm"),
+    preset="small_8core",
+    policies=("baseline", "bard-h"),
+    metric="write_blp",
+    description="two-policy grid decided on write BLP: exhaustive "
+                "full-detail runs vs adaptive orchestration (sampled "
+                "survey + CI-driven refinement, dominated cells pruned)",
+)
+
+#: (warmup, sim, survey sampling plan) per mode.  write BLP separates
+#: the policies by 20-44% on these kernels, so the orchestrator should
+#: retire cells in a round or two; the epoch dwarfs the intervals,
+#: which is the regime where sampling actually saves budget.
+_ADAPTIVE_FULL = (20_000, 200_000, SamplingConfig(
+    intervals=4, interval_instructions=1_000,
+    warm_instructions=1_000, detailed_warm_instructions=1_000,
+    max_intervals=64))
+_ADAPTIVE_QUICK = (5_000, 50_000, SamplingConfig(
+    intervals=4, interval_instructions=500,
+    warm_instructions=300, detailed_warm_instructions=200,
+    max_intervals=64))
+
+
+def adaptive_scenario_configs(
+        quick: bool = False) -> Tuple[SystemConfig, SystemConfig]:
+    """``(exhaustive, surveyed)`` configs for the adaptive scenario."""
+    warmup, sim, sampling = _ADAPTIVE_QUICK if quick else _ADAPTIVE_FULL
+    base = replace(small_8core(), warmup_instructions=warmup,
+                   sim_instructions=sim).with_warmup_mode("functional")
+    return base, base.with_sampling(sampling)
 
 
 def scenario_config(scenario: PerfScenario, quick: bool = False,
@@ -398,6 +455,93 @@ def measure_sampling_scenario(quick: bool = False, repeats: int = 1,
     }
 
 
+def measure_adaptive_scenario(quick: bool = False, repeats: int = 1,
+                              seed: int = 7) -> Dict[str, object]:
+    """Run the decisive grid exhaustively and adaptively; compare.
+
+    Each leg runs through a fresh cache-disabled
+    :class:`~repro.experiment.Session`; the best wall time per leg is
+    kept.  Beyond the wall-clock ratio (``speedup_vs_exhaustive``,
+    host-noisy like every timing), the entry reports the
+    host-independent fidelity facts the adaptive-orchestration gate
+    cares about: ``instruction_savings_x`` (detailed instructions the
+    exhaustive grid simulated over what the orchestrator spent) and
+    ``winners_match`` (both legs crowned the same per-workload winner
+    on the decision metric).
+    """
+    from repro.adaptive import AdaptivePolicy
+    from repro.experiment import ExperimentSpec, Session
+
+    scenario = ADAPTIVE_SCENARIO
+    exhaustive_cfg, surveyed_cfg = adaptive_scenario_configs(quick)
+    policy = AdaptivePolicy(metric=scenario.metric,
+                            target_relative_error=0.02,
+                            start_intervals=surveyed_cfg.sampling.intervals,
+                            max_rounds=3)
+
+    def grid(config: SystemConfig, leg: str) -> "ExperimentSpec":
+        return ExperimentSpec(
+            workloads=scenario.workloads,
+            configs=config,
+            policies=list(scenario.policies),
+            seeds=seed,
+            name=f"{scenario.name}:{leg}",
+        )
+
+    best: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        for leg in ("exhaustive", "adaptive"):
+            session = Session(cache=False)
+            start = time.perf_counter()
+            if leg == "exhaustive":
+                rs = session.run(grid(exhaustive_cfg, leg))
+            else:
+                rs = session.run_adaptive(grid(surveyed_cfg, leg), policy)
+            seconds = time.perf_counter() - start
+            if leg not in best or seconds < best[leg]:
+                best[leg] = seconds
+            results[leg] = rs
+
+    report = results["adaptive"].adaptive
+    exhaustive_cost = sum(r.instructions
+                          for r in results["exhaustive"].results())
+    winners_match = True
+    for workload, sub in results["exhaustive"].group_by(
+            "workload").items():
+        exhaustive_best = max(
+            sub, key=lambda obs: obs.value(scenario.metric))
+        group = f"config=default,seed={seed},workload={workload}"
+        if report.winners.get(group) != \
+                exhaustive_best.coords[policy.compare_axis]:
+            winners_match = False
+
+    return {
+        "name": scenario.name,
+        "workloads": list(scenario.workloads),
+        "preset": scenario.preset,
+        "policies": list(scenario.policies),
+        "metric": scenario.metric,
+        "description": scenario.description,
+        "warmup_instructions": exhaustive_cfg.warmup_instructions,
+        "sim_instructions": exhaustive_cfg.sim_instructions,
+        "seed": seed,
+        "target_relative_error": policy.target_relative_error,
+        "exhaustive_seconds": round(best["exhaustive"], 4),
+        "adaptive_seconds": round(best["adaptive"], 4),
+        "speedup_vs_exhaustive": round(
+            best["exhaustive"] / best["adaptive"], 3),
+        "instructions_exhaustive": exhaustive_cost,
+        "instructions_spent": report.instructions_spent,
+        "instruction_savings_x": round(
+            exhaustive_cost / report.instructions_spent, 3),
+        "rounds": report.rounds,
+        "escalations": report.escalations,
+        "pruned": report.pruned,
+        "winners_match": winners_match,
+    }
+
+
 def measure_telemetry_overhead(quick: bool = False, repeats: int = 5,
                                seed: int = 7) -> Dict[str, object]:
     """Time ``write_stream`` with telemetry disabled vs enabled.
@@ -482,6 +626,7 @@ def bench_report(entries: List[Dict[str, object]], mode: str,
                  warmup: Optional[Dict[str, object]] = None,
                  sampling: Optional[Dict[str, object]] = None,
                  telemetry: Optional[Dict[str, object]] = None,
+                 adaptive: Optional[Dict[str, object]] = None,
                  ) -> Dict[str, object]:
     """Assemble the BENCH_simcore.json payload.
 
@@ -499,6 +644,9 @@ def bench_report(entries: List[Dict[str, object]], mode: str,
     ``sampling_scenario`` for the same reason.  ``telemetry`` is the
     entry from :func:`measure_telemetry_overhead`, reported under
     ``telemetry_overhead`` (a cost/phase profile, not a throughput).
+    ``adaptive`` is the entry from :func:`measure_adaptive_scenario`,
+    reported under ``adaptive_scenario`` (its headline figures are
+    instruction-budget savings and winner agreement, not events/sec).
     """
     base_scenarios: Dict[str, Dict[str, object]] = \
         dict(baseline.get("scenarios", {})) if baseline else {}
@@ -531,4 +679,6 @@ def bench_report(entries: List[Dict[str, object]], mode: str,
         report["sampling_scenario"] = sampling
     if telemetry is not None:
         report["telemetry_overhead"] = telemetry
+    if adaptive is not None:
+        report["adaptive_scenario"] = adaptive
     return report

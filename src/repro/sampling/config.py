@@ -128,3 +128,19 @@ class SamplingConfig:
         """Copy of this plan with a different interval count."""
         return replace(self, intervals=intervals,
                        max_intervals=max(self.max_intervals, intervals))
+
+    def fixed(self, intervals: int) -> "SamplingConfig":
+        """A fixed-count re-plan at ``intervals``, spread over the epoch.
+
+        Used by the adaptive orchestrator
+        (:meth:`~repro.experiment.spec.RunSpec.refine`): the per-run
+        adaptive stop is disabled (``target_relative_error=None``) so
+        the run's cost is exactly ``intervals`` measured intervals, and
+        a pinned period is released so a grown plan re-tiles the epoch
+        instead of overrunning it.  Everything else (interval length,
+        warming budgets, scheme, seed, confidence) is preserved.
+        """
+        return replace(self, intervals=intervals,
+                       max_intervals=max(self.max_intervals, intervals),
+                       period_instructions=None,
+                       target_relative_error=None)

@@ -7,6 +7,9 @@ Endpoints (all JSON bodies)::
     GET  /v1/metrics               Prometheus text exposition
                                    (the one non-JSON endpoint)
     POST /v1/grids                 submit a grid        -> 202 status
+                                   (body may carry "adaptive": an
+                                   AdaptivePolicy dict switching the
+                                   grid to adaptive orchestration)
     GET  /v1/grids/<id>            progress snapshot    -> 200 status
     GET  /v1/grids/<id>/result     finished ResultSet   -> 200 records
                                    (?metrics=a,b selects metric columns)

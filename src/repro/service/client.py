@@ -201,8 +201,16 @@ class ServiceClient:
     def submit(self,
                experiment: Union[ExperimentSpec, Mapping[str, Any]],
                tenant: str = "default", priority: int = 0,
-               name: Optional[str] = None) -> Dict[str, Any]:
-        """Submit a grid; returns the service's status/admission dict."""
+               name: Optional[str] = None,
+               adaptive: Optional[Mapping[str, Any]] = None
+               ) -> Dict[str, Any]:
+        """Submit a grid; returns the service's status/admission dict.
+
+        ``adaptive`` (an ``AdaptivePolicy.to_dict()`` mapping, or the
+        policy object itself) switches the grid to adaptive
+        orchestration: the service surveys every cell cheaply and then
+        spends refinement rounds only where the CIs demand them.
+        """
         wire = experiment_to_dict(experiment) \
             if isinstance(experiment, ExperimentSpec) \
             else dict(experiment)
@@ -210,6 +218,9 @@ class ServiceClient:
                                 "experiment": wire}
         if name is not None:
             body["name"] = name
+        if adaptive is not None:
+            body["adaptive"] = adaptive.to_dict() \
+                if hasattr(adaptive, "to_dict") else dict(adaptive)
         return self._request("POST", "/v1/grids", body)
 
     def status(self, grid_id: str) -> Dict[str, Any]:

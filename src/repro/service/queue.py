@@ -297,7 +297,8 @@ class JobQueue:
 
     def admit(self, new_specs: List[RunSpec], attach_keys: List[str],
               tenant: str, priority: int = 0,
-              grid_id: Optional[str] = None) -> Tuple[int, int]:
+              grid_id: Optional[str] = None,
+              internal: bool = False) -> Tuple[int, int]:
         """Atomically admit a grid's share of the queue.
 
         ``new_specs`` become fresh jobs (subject to the pending bounds -
@@ -305,10 +306,18 @@ class JobQueue:
         nothing changes); ``attach_keys`` are existing jobs this grid
         additionally depends on (in-flight dedup - attaching is free and
         never rejected).  Returns ``(jobs created, jobs attached)``.
+
+        ``internal=True`` marks a service-originated continuation of an
+        *already admitted* grid - adaptive refinement rounds, restart
+        reconciliation, lost-result re-admission.  Those are exempt from
+        the pending bounds: backpressure exists to push back on new
+        submitters at the door, and there is no submitter left to retry
+        a 429 once a grid is in flight, so bounding continuations could
+        only deadlock grids against each other.
         """
         with self._lock:
             per_tenant, total = self._pending_counts()
-            want = len(new_specs)
+            want = len(new_specs) if not internal else 0
             have = per_tenant.get(tenant, 0)
             if want and have + want > self.max_pending_per_tenant:
                 raise QueueFull(tenant, have, self.max_pending_per_tenant,

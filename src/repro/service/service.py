@@ -23,11 +23,23 @@ coordinates and run specs, which is what makes a killed service
 resumable - on restart, unfinished grids re-admit any run that is
 neither stored nor queued, and everything already finished stays
 finished.
+
+Adaptive grids (:meth:`ExperimentService.submit_adaptive`) run the same
+:class:`~repro.adaptive.planner.AdaptivePlanner` the local
+``Session.run_adaptive`` loop uses, but round by round over the durable
+queue: a supervisor thread (woken whenever a worker group settles)
+notices when every awaiting run of a round is in the store, restores
+the planner from the grid record, advances it, and admits the next
+round's refinements as *internal* jobs - so retries, quarantine, and
+tenant fairness apply to refinement rounds unchanged.  The planner
+state round-trips JSON through the grid record, which makes a killed
+adaptive orchestration resume mid-round on restart.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
 from dataclasses import dataclass, field
@@ -36,6 +48,9 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, \
     Union
 
 from repro import telemetry
+from repro.adaptive.planner import AdaptivePlanner
+from repro.adaptive.policy import AdaptivePolicy
+from repro.adaptive.report import AdaptiveReport
 from repro.errors import ConfigError
 from repro.experiment.cache import default_cache_dir
 from repro.experiment.resultset import ResultSet, from_points
@@ -48,6 +63,9 @@ from repro.service.queue import CANCELLED, DONE, FAILED, JobQueue, \
 from repro.service.store import ResultStore
 from repro.service.util import atomic_write_json, read_json
 from repro.service.workers import WorkerPool
+from repro.telemetry import get_logger
+
+logger = get_logger("service")
 
 #: On-disk grid record format; unknown versions are skipped on load.
 GRID_FORMAT = 1
@@ -122,18 +140,38 @@ class ExperimentService:
         self.counters: Dict[str, int] = {
             "submissions": 0, "resubmissions": 0, "rejected": 0,
             "grids_resumed": 0, "jobs_readmitted": 0,
+            "adaptive_grids": 0, "adaptive_rounds": 0,
+            "adaptive_completed": 0,
         }
+        self._adaptive_wake = threading.Event()
+        self._adaptive_stop = threading.Event()
+        self._adaptive_thread: Optional[threading.Thread] = None
+        # Wake the adaptive supervisor the moment any group settles,
+        # instead of leaving round boundaries to the poll fallback.
+        self.workers.on_settled = self._adaptive_wake.set
         self._load_grids()
         self._reconcile()
 
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> None:
-        """Start draining the queue (idempotent)."""
+        """Start the workers and the adaptive supervisor (idempotent)."""
         self.workers.start()
+        if self._adaptive_thread is None \
+                or not self._adaptive_thread.is_alive():
+            self._adaptive_stop.clear()
+            self._adaptive_thread = threading.Thread(
+                target=self._adaptive_loop, name="adaptive-supervisor",
+                daemon=True)
+            self._adaptive_thread.start()
 
     def stop(self) -> None:
         """Stop the workers; durable state stays resumable on disk."""
+        self._adaptive_stop.set()
+        self._adaptive_wake.set()
+        if self._adaptive_thread is not None:
+            self._adaptive_thread.join(timeout=5.0)
+            self._adaptive_thread = None
         self.workers.stop()
 
     def __enter__(self) -> "ExperimentService":
@@ -179,7 +217,8 @@ class ExperimentService:
                 spec = spec_from_dict(spec_dict)
                 self.queue.admit([spec], [], tenant=record["tenant"],
                                  priority=record["priority"],
-                                 grid_id=record["grid_id"])
+                                 grid_id=record["grid_id"],
+                                 internal=True)
                 self.counters["jobs_readmitted"] += 1
                 resumed = True
             if resumed:
@@ -198,6 +237,46 @@ class ExperimentService:
         digest = hashlib.sha256(
             f"{tenant}:{content}".encode()).hexdigest()
         return f"g{digest[:16]}"
+
+    @classmethod
+    def _adaptive_grid_id(cls, tenant: str, plan: RunPlan,
+                          policy: AdaptivePolicy) -> str:
+        """Adaptive grids hash the policy in: the same grid under two
+        policies executes differently, so it is two grids."""
+        base = cls._grid_id(tenant, plan)
+        digest = hashlib.sha256(
+            f"{base}:adaptive:"
+            f"{json.dumps(policy.to_dict(), sort_keys=True)}"
+            .encode()).hexdigest()
+        return f"a{digest[:16]}"
+
+    def _settle_specs(self, specs: Mapping[str, Any], *, tenant: str,
+                      priority: int, grid_id: str, internal: bool
+                      ) -> Dict[str, int]:
+        """Settle keyed specs against the shared fabric (store-first).
+
+        Runs already in the store are satisfied instantly, runs queued
+        or running elsewhere are attached, and only the remainder
+        become new jobs.  Admission is atomic: on
+        :class:`~repro.service.queue.QueueFull` nothing was enqueued.
+        """
+        store_hits: List[str] = []
+        attach: List[str] = []
+        new_specs = []
+        for key, spec in specs.items():
+            if key in self.store:
+                store_hits.append(key)
+                continue
+            job = self.queue.get(key)
+            if job is not None and job.state in (PENDING, RUNNING, DONE):
+                attach.append(key)
+            else:
+                new_specs.append(spec)
+        created, attached = self.queue.admit(
+            new_specs, attach, tenant=tenant, priority=priority,
+            grid_id=grid_id, internal=internal)
+        return {"store_hits": len(store_hits),
+                "inflight_dedup": attached, "new_jobs": created}
 
     def submit(self, experiment: Union[ExperimentSpec, RunPlan],
                tenant: str = "default", priority: int = 0,
@@ -219,22 +298,10 @@ class ExperimentService:
                 self.counters["resubmissions"] += 1
                 return self.status(grid_id)
 
-            store_hits: List[str] = []
-            attach: List[str] = []
-            new_specs = []
-            for key, spec in plan.runs.items():
-                if key in self.store:
-                    store_hits.append(key)
-                elif self.queue.get(key) is not None and \
-                        self.queue.get(key).state in \
-                        (PENDING, RUNNING, DONE):
-                    attach.append(key)
-                else:
-                    new_specs.append(spec)
             try:
-                created, attached = self.queue.admit(
-                    new_specs, attach, tenant=tenant, priority=priority,
-                    grid_id=grid_id)
+                settled = self._settle_specs(
+                    plan.runs, tenant=tenant, priority=priority,
+                    grid_id=grid_id, internal=False)
             except QueueFull:
                 self.counters["rejected"] += 1
                 raise
@@ -257,9 +324,7 @@ class ExperimentService:
                 "admission": {
                     "total_points": len(plan),
                     "unique_runs": plan.unique_count,
-                    "store_hits": len(store_hits),
-                    "inflight_dedup": attached,
-                    "new_jobs": created,
+                    **settled,
                 },
             }
             self._grids[grid_id] = record
@@ -268,12 +333,87 @@ class ExperimentService:
         self.workers.kick()
         return self.status(grid_id)
 
+    def submit_adaptive(self, experiment: Union[ExperimentSpec, RunPlan],
+                        policy: AdaptivePolicy, tenant: str = "default",
+                        priority: int = 0,
+                        name: Optional[str] = None) -> Dict[str, Any]:
+        """Admit a grid for adaptive orchestration (idempotent).
+
+        The survey round's runs are admitted immediately (subject to
+        the same backpressure as :meth:`submit`); every later
+        refinement round is planned by the supervisor from observed
+        results and admitted as *internal* jobs, exempt from pending
+        bounds because no submitter exists to retry a 429.  Decisions
+        are made by the identical :class:`AdaptivePlanner` the local
+        ``Session.run_adaptive`` path uses, over the same deterministic
+        results - so the two paths always agree.
+        """
+        plan = experiment.expand() \
+            if isinstance(experiment, ExperimentSpec) else experiment
+        if not len(plan):
+            raise ConfigError("cannot submit an empty grid")
+        grid_id = self._adaptive_grid_id(tenant, plan, policy)
+        with self._lock:
+            existing = self._grids.get(grid_id)
+            if existing is not None and existing["state"] == ACTIVE:
+                self.counters["resubmissions"] += 1
+                return self.status(grid_id)
+
+            planner = AdaptivePlanner(plan, policy)
+            specs = planner.start()
+            try:
+                settled = self._settle_specs(
+                    specs, tenant=tenant, priority=priority,
+                    grid_id=grid_id, internal=False)
+            except QueueFull:
+                self.counters["rejected"] += 1
+                raise
+
+            record = {
+                "format": GRID_FORMAT,
+                "grid_id": grid_id,
+                "tenant": tenant,
+                "name": name or (plan.spec.name if plan.spec
+                                 else "plan"),
+                "priority": priority,
+                "state": ACTIVE,
+                "submitted_at": time.time(),
+                # Point keys start as the original cell keys and are
+                # rewritten to each cell's final (highest-fidelity) run
+                # key when the orchestration finalises.
+                "points": [{"coords": dict(p.coords),
+                            "key": p.spec.key(),
+                            "label": p.spec.label}
+                           for p in plan.points],
+                "specs": {key: spec.describe()
+                          for key, spec in specs.items()},
+                "admission": {
+                    "total_points": len(plan),
+                    "unique_runs": plan.unique_count,
+                    **settled,
+                },
+                "adaptive": {
+                    "policy": policy.to_dict(),
+                    "state": planner.state_dict(),
+                    "final": False,
+                },
+            }
+            self._grids[grid_id] = record
+            self._persist_grid(record)
+            self.counters["submissions"] += 1
+            self.counters["adaptive_grids"] += 1
+        self.workers.kick()
+        self._adaptive_wake.set()
+        return self.status(grid_id)
+
     def submit_request(self, payload: Mapping[str, Any]
                        ) -> Dict[str, Any]:
         """Wire-format submission (the HTTP POST body).
 
         ``{"tenant": ..., "priority": ..., "name": ...,
-        "experiment": <experiment_to_dict form>}``
+        "experiment": <experiment_to_dict form>}`` - plus an optional
+        ``"adaptive": <AdaptivePolicy.to_dict form>`` that switches the
+        grid to adaptive orchestration (:meth:`submit_adaptive`).
         """
         if not isinstance(payload, Mapping):
             raise ConfigError("submission body must be a JSON object")
@@ -283,8 +423,131 @@ class ExperimentService:
         tenant = str(payload.get("tenant", "default")) or "default"
         priority = int(payload.get("priority", 0))
         name = payload.get("name")
+        name_str = str(name) if name is not None else None
+        if payload.get("adaptive") is not None:
+            policy = AdaptivePolicy.from_dict(payload["adaptive"])
+            return self.submit_adaptive(spec, policy, tenant=tenant,
+                                        priority=priority, name=name_str)
         return self.submit(spec, tenant=tenant, priority=priority,
-                           name=str(name) if name is not None else None)
+                           name=name_str)
+
+    # -- adaptive supervision ------------------------------------------
+
+    def _adaptive_loop(self) -> None:
+        """Supervisor thread body: tick when woken, poll as fallback."""
+        poll = max(self.config.poll_interval, 0.05)
+        while not self._adaptive_stop.is_set():
+            self._adaptive_wake.wait(timeout=poll)
+            self._adaptive_wake.clear()
+            if self._adaptive_stop.is_set():
+                return
+            try:
+                self.tick_adaptive()
+            except Exception:  # pragma: no cover - supervisor survives
+                logger.exception("adaptive tick failed")
+
+    def tick_adaptive(self) -> int:
+        """Advance every adaptive grid whose round has fully settled.
+
+        Public (and synchronous) so tests and embedders can drive
+        orchestration deterministically without the supervisor thread.
+        Returns how many grids advanced a round or finalised.
+        """
+        with self._lock:
+            grid_ids = [
+                grid_id for grid_id, record in self._grids.items()
+                if record["state"] == ACTIVE
+                and record.get("adaptive") is not None
+                and not record["adaptive"]["final"]]
+        advanced = 0
+        for grid_id in grid_ids:
+            if self._advance_adaptive(grid_id):
+                advanced += 1
+        return advanced
+
+    def _advance_adaptive(self, grid_id: str) -> bool:
+        """One supervision step for one adaptive grid.
+
+        A round is settled when every awaiting run is either in the
+        store or dead-lettered.  Runs still pending/running (or failed
+        and under retry) leave the grid untouched; a DONE job whose
+        stored result vanished is re-admitted like any lost run.
+        """
+        with self._lock:
+            record = self._grids.get(grid_id)
+            if record is None or record["state"] != ACTIVE:
+                return False
+            adaptive = record["adaptive"]
+            if adaptive["final"]:
+                return False
+            awaiting = [cell["key"]
+                        for cell in adaptive["state"]["cells"]
+                        if cell["awaiting"]]
+
+        quarantined: Dict[str, str] = {}
+        lost: List[str] = []
+        for key in awaiting:
+            if key in self.store:
+                continue
+            job = self.queue.get(key)
+            if job is None or job.state == DONE:
+                lost.append(key)
+            elif job.state == QUARANTINED:
+                quarantined[key] = job.error or "quarantined"
+            else:
+                return False  # pending, running, or retrying
+        if lost:
+            with self._lock:
+                self._readmit(record, lost)
+            return False
+
+        with self._lock:
+            record = self._grids.get(grid_id)
+            if record is None or record["state"] != ACTIVE \
+                    or record["adaptive"]["final"]:
+                return False
+            adaptive = record["adaptive"]
+            policy = AdaptivePolicy.from_dict(adaptive["policy"])
+            planner = AdaptivePlanner.restore(policy, adaptive["state"])
+            if quarantined:
+                planner.mark_quarantined(quarantined)
+            results = {}
+            for cell in planner.cells.values():
+                if not cell.awaiting:
+                    continue
+                result = self.store.get(cell.key)
+                if result is None:  # quarantined by the integrity check
+                    self._readmit(record, [cell.key])
+                    return False
+                results[cell.key] = result
+            next_specs = planner.advance(results)
+            adaptive["state"] = planner.state_dict()
+            if next_specs:
+                settled = self._settle_specs(
+                    next_specs, tenant=record["tenant"],
+                    priority=record["priority"], grid_id=grid_id,
+                    internal=True)
+                for key, spec in next_specs.items():
+                    record["specs"][key] = spec.describe()
+                admission = record["admission"]
+                for kind, count in settled.items():
+                    admission[kind] += count
+                admission["unique_runs"] = len(record["specs"])
+                self.counters["adaptive_rounds"] += 1
+            else:
+                report = planner.report()
+                final_keys = {cell.cell: cell.key
+                              for cell in planner.cells.values()}
+                for point in record["points"]:
+                    point["key"] = final_keys.get(point["key"],
+                                                  point["key"])
+                adaptive["final"] = True
+                adaptive["report"] = report.to_dict()
+                self.counters["adaptive_completed"] += 1
+            self._persist_grid(record)
+        if next_specs:
+            self.workers.kick()
+        return True
 
     # -- status / results ----------------------------------------------
 
@@ -316,6 +579,16 @@ class ExperimentService:
         with self._lock:
             record = self._record(grid_id)
             states = self._job_states(record)
+            adaptive = record.get("adaptive")
+            adaptive_summary = None
+            if adaptive is not None:
+                cells = adaptive["state"]["cells"]
+                adaptive_summary = {
+                    "final": bool(adaptive["final"]),
+                    "round": adaptive["state"]["round"],
+                    "cells": len(cells),
+                    "active": sum(1 for c in cells if c["stop"] is None),
+                }
         tally = {PENDING: 0, RUNNING: 0, DONE: 0, FAILED: 0,
                  CANCELLED: 0, QUARANTINED: 0}
         errors = []
@@ -340,7 +613,13 @@ class ExperimentService:
             state = "running"
         else:
             state = "queued"
-        return {
+        if adaptive_summary is not None \
+                and not adaptive_summary["final"] \
+                and state in ("done", "degraded"):
+            # The round's runs are settled but the supervisor has not
+            # planned the next round yet: the grid is still working.
+            state = "running"
+        payload = {
             "grid_id": grid_id,
             "name": record["name"],
             "tenant": record["tenant"],
@@ -356,6 +635,9 @@ class ExperimentService:
             "errors": errors[:8],
             "admission": dict(record["admission"]),
         }
+        if adaptive_summary is not None:
+            payload["adaptive"] = adaptive_summary
+        return payload
 
     def result_set(self, grid_id: str) -> ResultSet:
         """Assemble the grid's :class:`ResultSet` from the store.
@@ -390,7 +672,11 @@ class ExperimentService:
         if lost:
             self._readmit(record, lost)
             raise ResultPending(self.status(grid_id))
-        return from_points(points, results, name=record["name"])
+        adaptive = record.get("adaptive")
+        report = AdaptiveReport.from_dict(adaptive["report"]) \
+            if adaptive is not None and adaptive["final"] else None
+        return from_points(points, results, name=record["name"],
+                           adaptive=report)
 
     def _readmit(self, record: Mapping[str, Any],
                  keys: Sequence[str]) -> None:
@@ -401,7 +687,8 @@ class ExperimentService:
                 spec = spec_from_dict(record["specs"][key])
                 self.queue.admit([spec], [], tenant=record["tenant"],
                                  priority=record["priority"],
-                                 grid_id=record["grid_id"])
+                                 grid_id=record["grid_id"],
+                                 internal=True)
             self.counters["jobs_readmitted"] += 1
         self.workers.kick()
 
@@ -416,7 +703,7 @@ class ExperimentService:
         rs = self.result_set(grid_id)
         record = self._record(grid_id)
         status = self.status(grid_id)
-        return {
+        payload = {
             "grid_id": grid_id,
             "name": record["name"],
             "tenant": record["tenant"],
@@ -425,6 +712,9 @@ class ExperimentService:
             "records": rs.to_records(metrics),
             "stats": dict(record["admission"]),
         }
+        if rs.adaptive is not None:
+            payload["report"] = rs.adaptive.to_dict()
+        return payload
 
     def cancel(self, grid_id: str) -> Dict[str, Any]:
         """Cancel a grid; jobs other grids still need keep running."""
@@ -471,6 +761,10 @@ class ExperimentService:
         workers = self.workers.stats_dict()
         store = self.store.stats_dict()
         executed = workers["jobs"] + workers["failures"]
+
+        def _registry_value(name: str, **labels: str) -> int:
+            return int(telemetry.registry_value(name, **labels))
+
         return {
             "uptime_seconds": time.time() - self._started_at,
             "grids": grid_states,
@@ -491,6 +785,22 @@ class ExperimentService:
                               if executed else 0.0),
             },
             "counters": counters,
+            # Process-wide adaptive-orchestration totals, straight from
+            # the registry counters the planner increments - the same
+            # events AdaptiveReport totals are built from, so the two
+            # always reconcile.
+            "adaptive": {
+                "rounds": _registry_value(
+                    "repro_adaptive_rounds_total"),
+                "escalations": _registry_value(
+                    "repro_adaptive_escalations_total"),
+                "pruned": _registry_value(
+                    "repro_adaptive_pruned_total"),
+                "instructions_spent": _registry_value(
+                    "repro_adaptive_instructions_total", kind="spent"),
+                "instructions_saved": _registry_value(
+                    "repro_adaptive_instructions_total", kind="saved"),
+            },
             "limits": {
                 "max_pending_per_tenant":
                     self.queue.max_pending_per_tenant,

@@ -48,7 +48,7 @@ import multiprocessing.pool
 import threading
 import time
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.experiment.execute import iter_group, simulate_group
@@ -119,9 +119,15 @@ class WorkerPool:
                  use_processes: bool = True,
                  poll_interval: float = 0.05,
                  retry: Optional[RetryPolicy] = None,
-                 job_timeout: Optional[float] = None) -> None:
+                 job_timeout: Optional[float] = None,
+                 on_settled: Optional[Callable[[], None]] = None) -> None:
         self.queue = queue
         self.store = store
+        #: Fired (from a dispatcher thread, exceptions swallowed) after
+        #: a group settles - completed, failed, or quarantined - so an
+        #: orchestration layer (the adaptive supervisor) can react to
+        #: progress promptly instead of polling blind.
+        self.on_settled = on_settled
         self.shards = max(1, int(shards))
         self.max_group = max(1, int(max_group))
         self.use_processes = use_processes
@@ -310,6 +316,7 @@ class WorkerPool:
             with self._lock:
                 self.stats.store_skips += skipped
             self._wake.set()
+            self._notify_settled()
         return remaining
 
     def _reserve_slot(self) -> bool:
@@ -465,6 +472,7 @@ class WorkerPool:
             self.stats.warmups += warmups
             self.stats.restores += restores
         self._wake.set()
+        self._notify_settled()
 
     def _on_error(self, group: List[Job], exc: BaseException) -> None:
         """Dispose a failed group: isolate, retry with backoff, or
@@ -501,6 +509,15 @@ class WorkerPool:
             self.stats.retried += retried
             self.stats.quarantined += quarantined
         self._wake.set()
+        self._notify_settled()
+
+    def _notify_settled(self) -> None:
+        if self.on_settled is None:
+            return
+        try:
+            self.on_settled()
+        except Exception:  # pragma: no cover - observer must not kill us
+            logger.exception("on_settled callback raised")
 
     # -- introspection -------------------------------------------------
 

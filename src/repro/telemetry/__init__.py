@@ -39,6 +39,7 @@ __all__ = [
     "HistogramFamily", "NOOP", "DEFAULT_BUCKETS", "DEFAULT_MAX_SERIES",
     "TRACER", "Tracer", "Span", "phase_key", "span", "get_tracer",
     "counter", "gauge", "histogram", "publish_run_result",
+    "registry_value",
     "configure_logging", "get_logger", "JsonLinesFormatter",
 ]
 
@@ -50,6 +51,19 @@ _NULL_SPAN = nullcontext()
 def get_tracer() -> Tracer:
     """The process-wide tracer (always available, even when disabled)."""
     return TRACER
+
+
+def registry_value(name: str, **labels: str) -> float:
+    """One series' current value from :data:`REGISTRY`, 0.0 when absent.
+
+    The read-side convenience for always-on operational families
+    (``repro_adaptive_*``, queue/worker counters): callers rendering a
+    stats payload - or tests reconciling report totals against counter
+    deltas - want "the number, or zero if nothing incremented it yet"
+    without reimplementing the family-missing check.
+    """
+    family = REGISTRY.get(name)
+    return family.value(**labels) if family is not None else 0.0
 
 
 def span(name: str, category: str = "run",

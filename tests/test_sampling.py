@@ -202,6 +202,35 @@ class TestAdaptive:
         result = run_system(cfg)
         assert result.sampling.intervals == 4
 
+    def test_interval_count_monotone_in_target(self):
+        """Loosening the error target never buys MORE intervals."""
+        def intervals_for(target):
+            cfg = sampled_tiny(SamplingConfig(
+                intervals=2, interval_instructions=300,
+                warm_instructions=200, detailed_warm_instructions=100,
+                target_relative_error=target, max_intervals=8))
+            return run_system(cfg).sampling.intervals
+
+        targets = [0.001, 0.01, 0.05, 0.25, 10.0]
+        counts = [intervals_for(t) for t in targets]
+        assert counts == sorted(counts, reverse=True)
+        assert all(2 <= c <= 8 for c in counts)
+        assert counts[0] == 8      # unreachable target runs to the cap
+        assert counts[-1] == 2     # absurd target stops at the minimum
+
+    def test_adaptive_rerun_is_bit_identical(self):
+        """Fixed seeds make the whole adaptive loop deterministic."""
+        def once():
+            cfg = sampled_tiny(SamplingConfig(
+                intervals=2, interval_instructions=300,
+                warm_instructions=200, detailed_warm_instructions=100,
+                target_relative_error=0.05, max_intervals=8,
+                scheme="random", scheme_seed=3))
+            return run_system(cfg, seed=11)
+
+        a, b = once(), once()
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
 
 class TestExperimentIntegration:
     def test_sampled_and_full_keys_differ(self):
@@ -229,12 +258,17 @@ class TestExperimentIntegration:
         assert rs.error_bars("mean_ipc") == \
             [rs.only().error_bar("mean_ipc")]
 
-    def test_full_observation_has_no_ci(self):
+    def test_full_observation_has_degenerate_ci(self):
+        # Mixed grids (adaptive escalations next to sampled cells) need
+        # full runs to answer ci() too: an exact measurement reports the
+        # zero-width interval (value, value), not an error.
         rs = Session(cache=False).run(ExperimentSpec(
             workloads="copy", configs=tiny_config(), seeds=7))
-        with pytest.raises(ValueError, match="unsampled"):
-            rs.ci("mean_ipc")
+        value = rs.only().value("mean_ipc")
+        assert rs.ci("mean_ipc") == (value, value)
         assert rs.error_bars("mean_ipc") == [0.0]
+        with pytest.raises(ValueError, match="unknown metric"):
+            rs.ci("not_a_metric")
 
     def test_cached_sampled_result_round_trips(self, tmp_path):
         spec = ExperimentSpec(workloads="copy", configs=sampled_tiny(),

@@ -208,18 +208,21 @@ class TestSessionCheckpointSharing:
         missing = list(plan.runs.items())
 
         serial = Session(cache=False)
-        assert [len(g) for g in serial._warm_groups(missing)] == [4]
+        assert [len(g) for _, g in serial._warm_groups(missing)] == [4]
 
         wide = Session(cache=False, parallel=4)
         chunks = wide._warm_groups(missing)
-        assert sorted(len(c) for c in chunks) == [1, 1, 1, 1]
+        assert sorted(len(c) for _, c in chunks) == [1, 1, 1, 1]
+        # Split chunks keep the shared warm-group key of their parent.
+        assert len({gk for gk, _ in chunks}) == 1
         # Order-preserving partition of the same work items.
-        assert [ks for chunk in chunks for ks in chunk] != []
-        assert sorted(k for chunk in chunks for k, _ in chunk) == \
+        assert [ks for _, chunk in chunks for ks in chunk] != []
+        assert sorted(k for _, chunk in chunks for k, _ in chunk) == \
             sorted(k for k, _ in missing)
 
         two = Session(cache=False, parallel=2)
-        assert sorted(len(c) for c in two._warm_groups(missing)) == [2, 2]
+        assert sorted(len(c) for _, c in two._warm_groups(missing)) == \
+            [2, 2]
 
 
 # ----------------------------------------------------------------------
